@@ -1,0 +1,38 @@
+"""Ablation benchmarks for the reproduction's own design choices."""
+
+from conftest import BENCH_SCALE, run_once
+from repro.eval.ablations import (sweep_cache_size, sweep_loop_safety,
+                                  sweep_window_bulk)
+
+
+def test_cache_size_ablation(benchmark):
+    results = run_once(benchmark, sweep_cache_size, "001.gcc1.35",
+                       BENCH_SCALE)
+    print("\ncache-size sweep:", {k // 1024: round(v, 1)
+                                  for k, v in results.items()})
+    # overheads stay in the same regime; cache effects are alignment
+    # noise, not order-of-magnitude shifts (§3.3.1)
+    values = list(results.values())
+    assert max(values) < 3 * max(min(values), 1.0)
+
+
+def test_window_bulk_ablation(benchmark):
+    results = run_once(benchmark, sweep_window_bulk, BENCH_SCALE)
+    print("\nwindow-bulk sweep:",
+          {k: round(v["overhead_pct"], 1) for k, v in results.items()})
+    # bulk spilling makes the *baseline* cheaper (fewer traps during
+    # descent), the property the default relies on
+    assert results[4]["baseline_cycles"] < results[1]["baseline_cycles"]
+
+
+def test_loop_safety_ablation(benchmark):
+    results = run_once(benchmark, sweep_loop_safety, "030.matrix300",
+                       BENCH_SCALE)
+    print("\nloop-safety sweep:", results)
+    optimistic = results["optimistic"]
+    guarded = results["alias-guarded"]
+    # the alias guard can only remove eliminations, never add them
+    assert guarded["range"] <= optimistic["range"]
+    assert guarded["li"] <= optimistic["li"]
+    # the overflow guard changes nothing for in-range constant loops
+    assert results["overflow-guarded"]["range"] == optimistic["range"]

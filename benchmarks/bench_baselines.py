@@ -1,0 +1,49 @@
+"""Regenerates the §1/§3 baseline comparisons (E6).
+
+Full-scale reproduction: ``python -m repro.eval.baselines``.
+"""
+
+from conftest import BENCH_SCALE, run_once
+from repro.eval.baselines import (demonstrate_hardware_limit,
+                                  measure_hashtable_overheads,
+                                  measure_trap_factor, measure_vmprotect)
+from repro.eval.overhead import WorkloadBench
+
+
+def test_trap_factor(benchmark):
+    factor = run_once(benchmark, measure_trap_factor)
+    benchmark.extra_info["slowdown_factor"] = round(factor)
+    print("\ndbx-style trap slowdown: %.0fx (paper: ~85,000x)" % factor)
+    # "too slow for practical use": four to five orders of magnitude
+    assert factor > 10_000
+
+
+def test_hashtable_overheads(benchmark):
+    workloads = ["022.li", "042.fpppp", "030.matrix300"]
+    hashes = run_once(benchmark, measure_hashtable_overheads,
+                      BENCH_SCALE, workloads)
+    print("\nhash-table checks: " + ", ".join(
+        "%s=%.0f%%" % kv for kv in hashes.items()))
+    # hash-table checks cost much more than the segmented bitmap
+    for name in workloads:
+        bench = WorkloadBench(name, scale=BENCH_SCALE)
+        bitmap = bench.overhead("BitmapInlineRegisters", enabled=True)
+        assert hashes[name] > bitmap * 1.5, name
+    # the worst cases reach into the hundreds of percent (paper: 209-642)
+    assert max(hashes.values()) > 150.0
+
+
+def test_hardware_capacity(benchmark):
+    message = run_once(benchmark, demonstrate_hardware_limit)
+    print("\n" + message)
+    assert "watches 1 word" in message
+
+
+def test_vmprotect(benchmark):
+    result = run_once(benchmark, measure_vmprotect, BENCH_SCALE)
+    print("\nVAX DEBUG page protection: %.0f%% overhead, %d false faults"
+          % (result["overhead"], result["false_faults"]))
+    # page sharing causes false faults, making this approach slow
+    assert result["false_faults"] > 0
+    assert result["overhead"] > 100.0
+    assert result["hits"] > 0

@@ -1,0 +1,32 @@
+"""Regenerates E8: the §3.3.3 segment-caching break-even analysis.
+
+Full reproduction: ``python -m repro.eval.breakeven``.
+"""
+
+from conftest import run_once
+from repro.eval.breakeven import (breakeven_full_fraction,
+                                  compute_breakeven, cost_cache,
+                                  cost_registers)
+
+
+def test_breakeven_ranges(benchmark):
+    results = run_once(benchmark, compute_breakeven)
+    print("\nbreak-even full-lookup rate: C %.1f-%.1f%%, F %.1f-%.1f%%"
+          % (*results["C"], *results["F"]))
+    # the paper's qualitative conclusions:
+    # 1. a break-even point exists in the tens of percent
+    for low, high in results.values():
+        assert 5.0 < low < high < 60.0
+    # 2. FORTRAN's higher cache-miss rate lowers its break-even point
+    assert results["F"][0] < results["C"][0]
+    # 3. sanity of the cost model itself: with no full lookups the
+    # cache wins; with all-full-lookups the registers variant wins
+    for load_cost in (2.0, 8.0):
+        assert cost_cache(0.0, 0.05, load_cost) < \
+            cost_registers(0.0, load_cost)
+        assert cost_cache(1.0, 0.05, load_cost) > \
+            cost_registers(1.0, load_cost)
+        # the crossover is where the costs meet
+        point = breakeven_full_fraction(0.05, load_cost)
+        assert abs(cost_cache(point, 0.05, load_cost)
+                   - cost_registers(point, load_cost)) < 0.5

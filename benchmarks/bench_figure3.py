@@ -1,0 +1,27 @@
+"""Regenerates Figure 3: segment cache locality vs segment size.
+
+Full-scale reproduction: ``python -m repro.eval.figure3``.
+"""
+
+from conftest import BENCH_SCALE, run_once
+from repro.eval.figure3 import format_series, measure_figure3
+from repro.eval.overhead import average
+
+#: a representative mix: stack-heavy, BSS-heavy, heap-heavy
+WORKLOADS = ["022.li", "030.matrix300", "008.espresso"]
+SIZES = [32, 64, 128, 256, 512, 1024]
+
+
+def test_figure3_series(benchmark):
+    results = run_once(benchmark, measure_figure3, BENCH_SCALE,
+                       WORKLOADS, SIZES)
+    print()
+    print(format_series(results))
+    rates = {size: average(list(row.values()))
+             for size, row in results.items()}
+    # locality improves with segment size...
+    assert rates[128] > rates[32]
+    # ...the 128-word hit rate is already high (the paper's choice)...
+    assert rates[128] > 0.80
+    # ...and growing segments past 128 words buys little (§3.1)
+    assert rates[1024] - rates[128] < 0.15

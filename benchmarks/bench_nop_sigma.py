@@ -1,0 +1,27 @@
+"""Regenerates the §3.3.1 nop-insertion cache experiment (Table 1's σ).
+
+Full-scale reproduction: ``python -m repro.eval.nop_experiment``.
+"""
+
+from conftest import BENCH_SCALE, run_once
+from repro.eval.nop_experiment import (format_table, measure_sigma,
+                                       measure_workload)
+
+WORKLOADS = ["042.fpppp", "013.spice2g6", "023.eqntott"]
+
+
+def test_nop_regression(benchmark):
+    results = run_once(
+        benchmark, lambda: {name: measure_workload(name, BENCH_SCALE)
+                            for name in WORKLOADS})
+    print()
+    print(format_table(results))
+    for name, row in results.items():
+        # overhead grows with inserted nops (positive slope)...
+        assert row["slope"] > 0, name
+        # ...monotonically at the ends of the sweep...
+        assert row["nop32"] > row["nop2"], name
+        # ...and residual sigma (cache alignment noise) is a modest
+        # fraction of the overhead range, as in the paper's σ column
+        spread = row["nop32"] - row["nop2"]
+        assert row["sigma"] < max(spread, 1.0), name

@@ -1,0 +1,23 @@
+"""Regenerates E7: segmented-bitmap space overhead (§3's ~3% claim).
+
+Full-scale reproduction: ``python -m repro.eval.space``.
+"""
+
+from conftest import BENCH_SCALE, run_once
+from repro.eval.space import measure_workload
+
+WORKLOADS = ["022.li", "030.matrix300", "047.tomcatv"]
+
+
+def test_space_fraction(benchmark):
+    results = run_once(
+        benchmark, lambda: {name: measure_workload(name, BENCH_SCALE)
+                            for name in WORKLOADS})
+    print()
+    for name, row in results.items():
+        print("%-18s bitmap %6d bytes over %6d data bytes = %.2f%%"
+              % (name, row["bitmap_bytes"], row["data_bytes"],
+                 100 * row["fraction"]))
+        # "roughly 3% of the total memory used by the program":
+        # 1/32 = 3.125% plus segment rounding
+        assert 0.025 <= row["fraction"] <= 0.08, name

@@ -1,0 +1,51 @@
+"""Regenerates Table 2: write-check elimination results.
+
+Full-scale reproduction: ``python -m repro.eval.table2``.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_once
+from repro.eval.table2 import (format_table, measure_table2,
+                               measure_workload, summarize)
+from repro.workloads import F_WORKLOADS, WORKLOAD_ORDER
+
+
+@pytest.mark.parametrize("workload", ["030.matrix300", "022.li"])
+def test_single_workload_elimination(benchmark, workload):
+    row = run_once(benchmark, measure_workload, workload, BENCH_SCALE)
+    benchmark.extra_info["eliminated_pct"] = round(row["total"], 1)
+    if workload == "030.matrix300":
+        # the paper's showcase: 100% of checks eliminated
+        assert row["total"] >= 95.0
+        assert row["range"] > 20.0
+    else:
+        # li: symbol-only elimination, nothing from loops
+        assert row["sym"] > 50.0
+        assert row["li"] + row["range"] < 10.0
+
+
+def test_table2_rows(benchmark):
+    results = run_once(benchmark, measure_table2, BENCH_SCALE,
+                       WORKLOAD_ORDER)
+    print()
+    print(format_table(results))
+    summary = summarize(results)
+
+    # headline: "Data flow analysis eliminated an average of 79% of the
+    # dynamic write checks" — shape: well over half
+    assert summary["overall"]["total"] > 60.0
+    # "For scientific programs such as the NAS kernels, analysis reduced
+    # write checks by a factor of ten or more"
+    scientific = [results[n]["total"] for n in
+                  ("030.matrix300", "020.nasker")]
+    assert all(total >= 90.0 for total in scientific)
+    # FORTRAN programs gain more from loop optimization than C (§4.6)
+    assert summary["F"]["range"] >= 0.0
+    assert summary["F"]["full"] < summary["C"]["full"]
+    # pre-header checks are rare relative to the checks they replace
+    assert summary["overall"]["gen_li"] + \
+        summary["overall"]["gen_range"] < 15.0
+    # Full <= Sym on average: loop elimination pays for its checks
+    assert summary["overall"]["full"] <= \
+        summary["overall"]["sym_overhead"] + 1.0

@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper at a
+reduced workload scale (full scale: ``python -m repro.eval.<module>``).
+``REPRO_BENCH_SCALE`` overrides the scale (default 0.4).
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+#: a representative small/medium workload pair used where running all
+#: ten would make the benchmark suite too slow
+FAST_WORKLOADS = ["042.fpppp", "030.matrix300"]
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark *func* with a single round (simulations are slow and
+    deterministic; statistical repetition adds nothing)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""The paper's §1 example: "stop when field f of structure s is
+modified" — with the structure updated through reference parameters
+and pointer aliases, where finding every updating statement by hand
+"is both tedious and error-prone".
+"""
+
+from repro.debugger import Debugger
+
+PROGRAM = """
+struct sensor { int id; int reading; int alarm; };
+
+struct sensor station;
+struct sensor *probe;
+
+int calibrate(struct sensor *s) {
+    s->reading = 0;                    // write via parameter
+    return 0;
+}
+
+int sample(struct sensor *s, int raw) {
+    s->reading = raw * 2 + 1;          // write via parameter
+    if (s->reading > 90) {
+        s->alarm = 1;
+    }
+    return s->reading;
+}
+
+int main() {
+    register int t;
+    probe = &station;
+    station.id = 17;
+    calibrate(probe);
+    for (t = 1; t <= 5; t = t + 1) {
+        sample(probe, t * 10);         // readings 21,41,61,81,101
+    }
+    print(station.reading);
+    print(station.alarm);
+    return 0;
+}
+"""
+
+
+def main():
+    debugger = Debugger.for_source(PROGRAM, optimize="full")
+
+    # stop when station.reading is modified to a value above 90
+    watchpoint = debugger.watch("station.reading", action="stop",
+                                condition=lambda value: value > 90)
+    trace = debugger.watch("station.reading", action="print")
+
+    reason = debugger.run()
+    print("stopped:", reason)
+    print("update trace so far:")
+    for line in debugger.log:
+        print("   ", line)
+    assert reason == "watch"
+    assert watchpoint.last_value() == 101
+
+    # resume to completion
+    reason = debugger.run()
+    assert reason == "exited"
+    print("program output:", " ".join(debugger.output))
+    print("total updates to station.reading:", trace.hit_count())
+    assert trace.hit_count() == 6   # calibrate + 5 samples
+    print("struct field watch OK")
+
+
+if __name__ == "__main__":
+    main()

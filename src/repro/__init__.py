@@ -1,0 +1,21 @@
+"""Reproduction of "Practical Data Breakpoints: Design and
+Implementation" (Wahbe, Lucco, Graham; PLDI 1993).
+
+Public entry points:
+
+* :class:`repro.debugger.Debugger` — source-level data breakpoints
+  (the five-minute path; see ``examples/quickstart.py``);
+* :class:`repro.session.DebugSession` — the mid-level pipeline
+  (compile, instrument with a write-check strategy and optional
+  optimization plan, attach the monitored region service);
+* :class:`repro.core.service.MonitoredRegionService` — the paper's §2
+  interface (``CreateMonitoredRegion`` / ``DeleteMonitoredRegion`` /
+  ``NotificationCallBack`` / ``PreMonitor`` / ``PostMonitor``);
+* :func:`repro.optimizer.pipeline.build_plan` — the §4 write-check
+  elimination analysis;
+* :mod:`repro.eval` — one module per table/figure of the evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

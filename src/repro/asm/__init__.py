@@ -1,0 +1,1 @@
+"""Assembly parser, two-pass assembler, symbol table, loader."""

@@ -1,0 +1,223 @@
+"""Symbolic assembly representation.
+
+The assembly toolchain is organized the way the paper's is (§2.1): the
+compiler emits assembly text, the *analysis tool* (:mod:`repro.instrument`)
+transforms it, and the assembler turns it into decoded instructions.  To
+avoid reparsing between stages, all stages share the symbolic statement
+types defined here: a program is a list of :class:`Label`,
+:class:`Directive` and :class:`AsmInsn` statements whose operands are
+:class:`Reg`, :class:`Imm`, :class:`Sym` and :class:`Mem` objects.
+
+Branch targets stay symbolic until final assembly, so instrumentation can
+insert statements freely without address fixups.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.isa.registers import REGISTER_IDS, register_name
+
+
+class AsmSyntaxError(Exception):
+    """Raised for malformed assembly input."""
+
+    def __init__(self, message: str, line_no: int = 0):
+        super().__init__(
+            "line %d: %s" % (line_no, message) if line_no else message)
+        self.line_no = line_no
+
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+
+class Reg:
+    """Register operand, stored by architectural id."""
+
+    __slots__ = ("rid",)
+
+    def __init__(self, rid: Union[int, str]):
+        if isinstance(rid, str):
+            try:
+                rid = REGISTER_IDS[rid]
+            except KeyError:
+                raise AsmSyntaxError("unknown register %r" % rid)
+        self.rid = rid
+
+    @property
+    def name(self) -> str:
+        return register_name(self.rid)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Reg) and self.rid == other.rid
+
+    def __hash__(self) -> int:
+        return hash(("reg", self.rid))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Imm:
+    """Immediate integer operand."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Imm) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("imm", self.value))
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class Sym:
+    """Symbol reference ``name+addend``; ``part`` is None, "hi" or "lo"."""
+
+    __slots__ = ("name", "addend", "part")
+
+    def __init__(self, name: str, addend: int = 0,
+                 part: Optional[str] = None):
+        self.name = name
+        self.addend = addend
+        self.part = part
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Sym) and self.name == other.name
+                and self.addend == other.addend and self.part == other.part)
+
+    def __hash__(self) -> int:
+        return hash(("sym", self.name, self.addend, self.part))
+
+    def __repr__(self) -> str:
+        base = self.name if not self.addend else \
+            "%s%+d" % (self.name, self.addend)
+        return "%%%s(%s)" % (self.part, base) if self.part else base
+
+
+class Mem:
+    """Memory operand ``[base+index]`` or ``[base+disp]``."""
+
+    __slots__ = ("base", "index", "disp")
+
+    def __init__(self, base: int, index: Optional[int] = None, disp: int = 0):
+        self.base = base
+        self.index = index
+        self.disp = disp if index is None else 0
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Mem) and self.base == other.base
+                and self.index == other.index and self.disp == other.disp)
+
+    def __hash__(self) -> int:
+        return hash(("mem", self.base, self.index, self.disp))
+
+    def __repr__(self) -> str:
+        if self.index is not None:
+            return "[%s+%s]" % (register_name(self.base),
+                                register_name(self.index))
+        if self.disp:
+            return "[%s%+d]" % (register_name(self.base), self.disp)
+        return "[%s]" % register_name(self.base)
+
+
+Operand = Union[Reg, Imm, Sym, Mem]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Statement:
+    __slots__ = ("line_no",)
+
+    def __init__(self, line_no: int = 0):
+        self.line_no = line_no
+
+
+class Label(Statement):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line_no: int = 0):
+        super().__init__(line_no)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return "%s:" % self.name
+
+
+class Directive(Statement):
+    """Assembler directive: ``.text``, ``.data``, ``.word``, ``.skip``,
+    ``.align``, ``.global``, ``.proc``, ``.endproc``, ``.stabs``."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Tuple, line_no: int = 0):
+        super().__init__(line_no)
+        self.name = name
+        self.args = args
+
+    def __repr__(self) -> str:
+        return ".%s %s" % (self.name, ", ".join(map(repr, self.args)))
+
+
+#: mnemonics that read memory
+LOAD_MNEMONICS = {"ld", "ldub", "ldsb", "ldd"}
+#: mnemonics that write memory (the paper's "write instructions")
+STORE_MNEMONICS = {"st", "stb", "std"}
+#: delayed control-transfer mnemonics (followed by a delay slot)
+BRANCH_MNEMONICS = {"ba", "bn", "be", "bne", "bl", "ble", "bg", "bge",
+                    "blu", "bleu", "bgu", "bgeu", "bneg", "bpos"}
+DCTI_MNEMONICS = BRANCH_MNEMONICS | {"call", "jmpl"}
+#: ALU mnemonics (canonical, without the cc suffix)
+ALU_MNEMONICS = {"add", "sub", "and", "andn", "or", "xor", "sll", "srl",
+                 "sra", "smul", "sdiv"}
+CC_MNEMONICS = {m + "cc" for m in ("add", "sub", "and", "andn", "or", "xor")}
+
+STORE_WIDTHS = {"st": 4, "stb": 1, "std": 8}
+LOAD_WIDTHS = {"ld": 4, "ldub": 1, "ldsb": 1, "ldd": 8}
+
+
+class AsmInsn(Statement):
+    """One canonical machine instruction with symbolic operands.
+
+    ``tag`` attributes the instruction for cycle accounting ("orig" for
+    compiler output, "check"/"lib"/"patch"/... for MRS code); ``site`` is
+    the write-site id assigned by the instrumenter.
+    """
+
+    __slots__ = ("mnemonic", "ops", "annul", "tag", "site")
+
+    def __init__(self, mnemonic: str, ops: List[Operand],
+                 annul: bool = False, line_no: int = 0, tag: str = "orig",
+                 site: Optional[int] = None):
+        super().__init__(line_no)
+        self.mnemonic = mnemonic
+        self.ops = ops
+        self.annul = annul
+        self.tag = tag
+        self.site = site
+
+    def is_store(self) -> bool:
+        return self.mnemonic in STORE_MNEMONICS
+
+    def is_load(self) -> bool:
+        return self.mnemonic in LOAD_MNEMONICS
+
+    def is_dcti(self) -> bool:
+        return self.mnemonic in DCTI_MNEMONICS
+
+    def is_branch(self) -> bool:
+        return self.mnemonic in BRANCH_MNEMONICS
+
+    def __repr__(self) -> str:
+        name = self.mnemonic + (",a" if self.annul else "")
+        if not self.ops:
+            return name
+        return "%s %s" % (name, ",".join(map(repr, self.ops)))

@@ -1,0 +1,298 @@
+"""Parser for the SPARC-like assembly language.
+
+Produces the symbolic statement list of :mod:`repro.asm.ast`.  Synthetic
+instructions (``mov``, ``cmp``, ``set``, ``ret``, ``clr``, ...) are
+expanded here into canonical machine instructions, so downstream stages
+(the instrumenter, the IR builder, the assembler) only ever see canonical
+forms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.asm.ast import (AsmInsn, AsmSyntaxError, BRANCH_MNEMONICS,
+                           Directive, Imm, Label, Mem, Operand, Reg,
+                           Statement, Sym)
+from repro.isa.instructions import SIMM13_MAX, SIMM13_MIN
+from repro.isa.registers import REGISTER_IDS
+
+_LABEL_RE = re.compile(r"^(\.?\w+):")
+_INT_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+)$")
+_SYM_RE = re.compile(r"^(\.?[A-Za-z_]\w*)([+-]\d+)?$")
+_HILO_RE = re.compile(r"^%(hi|lo)\((.+)\)$")
+_MEM_RE = re.compile(r"^\[(.+)\]$")
+
+_CANONICAL = {"add", "addcc", "sub", "subcc", "and", "andcc", "andn",
+              "andncc", "or", "orcc", "xor", "xorcc", "sll", "srl", "sra",
+              "smul", "sdiv", "sethi", "ld", "ldub", "ldsb", "ldd", "st",
+              "stb", "std", "call", "jmpl", "save", "restore", "ta",
+              "nop"} | BRANCH_MNEMONICS
+
+_BRANCH_ALIASES = {"b": "ba", "bz": "be", "bnz": "bne", "bcs": "blu",
+                   "bcc": "bgeu"}
+
+
+def _parse_int(text: str) -> Optional[int]:
+    if _INT_RE.match(text):
+        return int(text, 0)
+    return None
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand string on commas not nested in () or []."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class Parser:
+    """Line-oriented parser; see :func:`parse`."""
+
+    def __init__(self):
+        self._statements: List[Statement] = []
+        self._line_no = 0
+        self._current_tag = "orig"
+
+    # -- operand parsing -------------------------------------------------
+
+    def _operand(self, text: str) -> Operand:
+        text = text.strip()
+        if text in REGISTER_IDS:
+            return Reg(text)
+        value = _parse_int(text)
+        if value is not None:
+            return Imm(value)
+        match = _HILO_RE.match(text)
+        if match:
+            part, inner = match.group(1), match.group(2).strip()
+            value = _parse_int(inner)
+            if value is not None:
+                return Sym("", value, part)  # absolute hi/lo
+            sym = self._symbol(inner)
+            return Sym(sym.name, sym.addend, part)
+        match = _MEM_RE.match(text)
+        if match:
+            return self._mem_operand(match.group(1).strip())
+        return self._symbol(text)
+
+    def _symbol(self, text: str) -> Sym:
+        match = _SYM_RE.match(text)
+        if not match:
+            raise AsmSyntaxError("bad operand %r" % text, self._line_no)
+        addend = int(match.group(2)) if match.group(2) else 0
+        return Sym(match.group(1), addend)
+
+    def _mem_operand(self, inner: str) -> Mem:
+        # forms: %r | %r+%r | %r+imm | %r-imm
+        match = re.match(r"^(%\w+)\s*([+-])\s*(.+)$", inner)
+        if match:
+            base_name, sign, rest = match.groups()
+            if base_name not in REGISTER_IDS:
+                raise AsmSyntaxError("bad base register %r" % base_name,
+                                     self._line_no)
+            base = REGISTER_IDS[base_name]
+            rest = rest.strip()
+            if rest in REGISTER_IDS:
+                if sign == "-":
+                    raise AsmSyntaxError("cannot negate index register",
+                                         self._line_no)
+                return Mem(base, index=REGISTER_IDS[rest])
+            value = _parse_int(rest)
+            if value is None:
+                raise AsmSyntaxError("bad displacement %r" % rest,
+                                     self._line_no)
+            return Mem(base, disp=-value if sign == "-" else value)
+        if inner in REGISTER_IDS:
+            return Mem(REGISTER_IDS[inner])
+        raise AsmSyntaxError("bad memory operand [%s]" % inner,
+                             self._line_no)
+
+    # -- directive parsing --------------------------------------------------
+
+    def _directive_arg(self, text: str) -> Union[str, int, Sym, Reg]:
+        text = text.strip()
+        if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+            return text[1:-1]
+        if text in REGISTER_IDS:
+            return Reg(text)
+        value = _parse_int(text)
+        if value is not None:
+            return value
+        return self._symbol(text)
+
+    def _parse_directive(self, text: str) -> None:
+        parts = text.split(None, 1)
+        name = parts[0][1:]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == "tag":
+            # sets the accounting tag for subsequent instructions; consumed
+            # here rather than passed to the assembler
+            self._current_tag = rest.strip() or "orig"
+            return
+        args = tuple(self._directive_arg(a) for a in _split_operands(rest)) \
+            if rest else ()
+        self._emit(Directive(name, args, self._line_no))
+
+    # -- instruction parsing ----------------------------------------------
+
+    def _emit(self, stmt: Statement) -> None:
+        self._statements.append(stmt)
+
+    def _insn(self, mnemonic: str, ops: List[Operand],
+              annul: bool = False) -> None:
+        self._emit(AsmInsn(mnemonic, ops, annul=annul,
+                           line_no=self._line_no, tag=self._current_tag))
+
+    def _parse_instruction(self, text: str) -> None:
+        parts = text.split(None, 1)
+        head = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        annul = False
+        if head.endswith(",a"):
+            head = head[:-2]
+            annul = True
+        head = _BRANCH_ALIASES.get(head, head)
+        if head == "jmp" and rest and not rest.strip().startswith("["):
+            # jmp %reg+off uses address syntax without brackets
+            rest = "[%s]" % rest.strip()
+        ops = [self._operand(o) for o in _split_operands(rest)] if rest \
+            else []
+        self._expand(head, ops, annul)
+
+    def _expand(self, head: str, ops: List[Operand], annul: bool) -> None:
+        line = self._line_no
+        if head in _CANONICAL:
+            if head == "restore" and not ops:
+                ops = [Reg("%g0"), Imm(0), Reg("%g0")]
+            self._insn(head, ops, annul)
+            return
+        if head == "mov":
+            self._require(len(ops) == 2, "mov src,rd")
+            self._insn("or", [Reg("%g0"), ops[0], ops[1]])
+            return
+        if head == "cmp":
+            self._require(len(ops) == 2, "cmp rs1,op2")
+            self._insn("subcc", [ops[0], ops[1], Reg("%g0")])
+            return
+        if head == "tst":
+            self._require(len(ops) == 1, "tst rs")
+            self._insn("orcc", [Reg("%g0"), ops[0], Reg("%g0")])
+            return
+        if head == "set":
+            self._require(len(ops) == 2, "set value,rd")
+            self._expand_set(ops[0], ops[1])
+            return
+        if head == "clr":
+            self._require(len(ops) == 1, "clr rd|[mem]")
+            if isinstance(ops[0], Mem):
+                self._insn("st", [Reg("%g0"), ops[0]])
+            else:
+                self._insn("or", [Reg("%g0"), Imm(0), ops[0]])
+            return
+        if head == "inc":
+            self._require(len(ops) == 1, "inc rd")
+            self._insn("add", [ops[0], Imm(1), ops[0]])
+            return
+        if head == "dec":
+            self._require(len(ops) == 1, "dec rd")
+            self._insn("sub", [ops[0], Imm(1), ops[0]])
+            return
+        if head == "neg":
+            self._require(len(ops) == 1, "neg rd")
+            self._insn("sub", [Reg("%g0"), ops[0], ops[0]])
+            return
+        if head == "jmp":
+            self._require(len(ops) == 1, "jmp address")
+            rs1, op2 = self._address_pair(ops[0])
+            self._insn("jmpl", [rs1, op2, Reg("%g0")])
+            return
+        if head == "ret":
+            self._insn("jmpl", [Reg("%i7"), Imm(8), Reg("%g0")])
+            return
+        if head == "retl":
+            self._insn("jmpl", [Reg("%o7"), Imm(8), Reg("%g0")])
+            return
+        raise AsmSyntaxError("unknown mnemonic %r" % head, line)
+
+    def _address_pair(self, op: Operand) -> Tuple[Reg, Operand]:
+        if isinstance(op, Mem):
+            if op.index is not None:
+                return Reg(op.base), Reg(op.index)
+            return Reg(op.base), Imm(op.disp)
+        if isinstance(op, Reg):
+            return op, Imm(0)
+        raise AsmSyntaxError("bad jump address %r" % (op,), self._line_no)
+
+    def _expand_set(self, value: Operand, rd: Operand) -> None:
+        if isinstance(value, Imm):
+            if SIMM13_MIN <= value.value <= SIMM13_MAX:
+                self._insn("or", [Reg("%g0"), value, rd])
+                return
+            word = value.value & 0xFFFFFFFF
+            self._insn("sethi", [Imm(word >> 10), rd])
+            low = word & 0x3FF
+            if low:
+                self._insn("or", [rd, Imm(low), rd])
+            return
+        if isinstance(value, Sym):
+            self._insn("sethi", [Sym(value.name, value.addend, "hi"), rd])
+            self._insn("or", [rd, Sym(value.name, value.addend, "lo"), rd])
+            return
+        raise AsmSyntaxError("bad set value %r" % (value,), self._line_no)
+
+    def _require(self, cond: bool, form: str) -> None:
+        if not cond:
+            raise AsmSyntaxError("expected form: %s" % form, self._line_no)
+
+    # -- driver ----------------------------------------------------------
+
+    def parse(self, source: str) -> List[Statement]:
+        self._statements = []
+        for line_index, raw in enumerate(source.splitlines(), start=1):
+            self._line_no = line_index
+            line = self._strip_comment(raw).strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if match:
+                    self._emit(Label(match.group(1), line_index))
+                    line = line[match.end():].strip()
+                    continue
+                break
+            if not line:
+                continue
+            if line.startswith("."):
+                self._parse_directive(line)
+            else:
+                self._parse_instruction(line)
+        return self._statements
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        in_string = False
+        for index, ch in enumerate(line):
+            if ch == '"':
+                in_string = not in_string
+            elif ch == "!" and not in_string:
+                return line[:index]
+        return line
+
+
+def parse(source: str) -> List[Statement]:
+    """Parse assembly *source* into a list of symbolic statements."""
+    return Parser().parse(source)

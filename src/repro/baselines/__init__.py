@@ -1,0 +1,1 @@
+"""Prior-art data breakpoint implementations the paper compares against (§1, §3)."""

@@ -1,0 +1,58 @@
+"""Virtual-memory page-protection baseline: the VAX DEBUG model (§1).
+
+"Rather than check each instruction, VAX DEBUG protects each virtual
+memory page containing data that is part of a data break condition."
+
+Every write to a protected page takes a protection fault: the kernel
+delivers it to the debugger, which checks whether the faulting address
+is actually monitored, unprotects the page, single-steps the write and
+reprotects — two traps and two context switches per faulting write.
+Writes to *unmonitored* data that merely shares a page with a monitored
+region pay the same cost (false faults), which is what makes this
+approach slow for hot pages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.asm.assembler import assemble
+from repro.asm.loader import load_program
+from repro.core.regions import MonitoredRegion, RegionSet
+
+#: cycles per protection fault (fault + context switches + restep)
+DEFAULT_FAULT_COST = 4_000
+
+
+class PageProtectionDebugger:
+    """Data breakpoints via page protection."""
+
+    def __init__(self, asm_source: str,
+                 fault_cost: int = DEFAULT_FAULT_COST):
+        program = assemble(asm_source)
+        self.loaded = load_program(program)
+        self.fault_cost = fault_cost
+        self.regions = RegionSet()
+        self.hits: List[Tuple[int, int, bool]] = []
+        self.false_faults = 0
+        self.callbacks: List[Callable[[int, int, bool], None]] = []
+        self.loaded.cpu.mem.fault_handler = self._on_fault
+
+    def _on_fault(self, addr: int, size: int) -> None:
+        cpu = self.loaded.cpu
+        cpu.charge(self.fault_cost)
+        if self.regions.hit(addr, size):
+            self.hits.append((addr, size, False))
+            for callback in self.callbacks:
+                callback(addr, size, False)
+        else:
+            self.false_faults += 1
+
+    def watch(self, start: int, size: int) -> MonitoredRegion:
+        region = MonitoredRegion(start, size)
+        self.regions.add(region)
+        self.loaded.cpu.mem.protect_range(start, size)
+        return region
+
+    def run(self, max_instructions: int = 400_000_000) -> int:
+        return self.loaded.run(max_instructions=max_instructions)

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE.c`` — compile, instrument, and run a mini-C program with
+  optional data breakpoints (``--watch``), printing every hit;
+* ``asm FILE.c`` — show the generated (optionally instrumented)
+  assembly;
+* ``table1`` / ``table2`` / ``figure3`` / ``nop`` / ``baselines`` /
+  ``space`` / ``breakeven`` / ``ablations`` — regenerate one of the
+  paper's tables or figures (accept ``--scale``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_run_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "run", help="run a mini-C program under the debugger")
+    parser.add_argument("file", help="mini-C source file")
+    parser.add_argument("--lang", default="C", choices=["C", "F"],
+                        help="write-type dialect (FORTRAN enables "
+                             "BSS-VAR segment caching)")
+    parser.add_argument("--strategy", default="BitmapInlineRegisters",
+                        help="write-check strategy (Bitmap, BitmapInline,"
+                             " BitmapInlineRegisters, Cache, CacheInline)")
+    parser.add_argument("--optimize", default="full",
+                        choices=["full", "sym", "none"],
+                        help="write-check elimination mode")
+    parser.add_argument("--watch", action="append", default=[],
+                        metavar="EXPR",
+                        help="data breakpoint (repeatable): g, a[3], s.f")
+    parser.add_argument("--monitor-reads", action="store_true",
+                        help="also monitor read instructions (§5)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cycle/instruction statistics")
+
+
+def _add_debug_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "debug", help="interactive debugger session on a mini-C program")
+    parser.add_argument("file")
+    parser.add_argument("--lang", default="C", choices=["C", "F"])
+    parser.add_argument("--strategy", default="BitmapInlineRegisters")
+    parser.add_argument("--optimize", default="full",
+                        choices=["full", "sym", "none"])
+
+
+def _add_asm_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "asm", help="show generated assembly for a mini-C program")
+    parser.add_argument("file")
+    parser.add_argument("--lang", default="C", choices=["C", "F"])
+    parser.add_argument("--instrument", metavar="STRATEGY",
+                        help="also insert write checks with STRATEGY")
+
+
+_EVAL_COMMANDS = {
+    "table1": ("repro.eval.table1", 1.0),
+    "table2": ("repro.eval.table2", 1.0),
+    "figure3": ("repro.eval.figure3", 0.5),
+    "nop": ("repro.eval.nop_experiment", 0.5),
+    "baselines": ("repro.eval.baselines", 0.5),
+    "space": ("repro.eval.space", 1.0),
+    "ablations": ("repro.eval.ablations", 0.5),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Practical Data Breakpoints (PLDI 1993) — "
+                    "reproduction toolkit")
+    subparsers = parser.add_subparsers(dest="command")
+    _add_run_parser(subparsers)
+    _add_debug_parser(subparsers)
+    _add_asm_parser(subparsers)
+    for name, (_module, default_scale) in _EVAL_COMMANDS.items():
+        sub = subparsers.add_parser(
+            name, help="regenerate the paper's %s" % name)
+        sub.add_argument("--scale", type=float, default=default_scale)
+    subparsers.add_parser("breakeven",
+                          help="regenerate the §3.3.3 break-even table")
+    return parser
+
+
+def _command_run(args) -> int:
+    from repro.debugger import Debugger
+
+    with open(args.file) as handle:
+        source = handle.read()
+    optimize = None if args.optimize == "none" else args.optimize
+    debugger = Debugger.for_source(source, lang=args.lang,
+                                   strategy=args.strategy,
+                                   optimize=optimize,
+                                   monitor_reads=args.monitor_reads)
+    watchpoints = [(expr, debugger.watch(expr, action="log"))
+                   for expr in args.watch]
+    reason = debugger.run()
+    sys.stdout.write("".join(
+        item if item.isprintable() or item.isspace() else "?"
+        for item in debugger.output))
+    if debugger.output and not "".join(debugger.output).endswith("\n"):
+        sys.stdout.write("\n")
+    print("-- %s" % reason)
+    for expr, watchpoint in watchpoints:
+        print("-- watch %-16s %d hit(s)%s"
+              % (expr, watchpoint.hit_count(),
+                 ", last value %d" % watchpoint.last_value()
+                 if watchpoint.hits else ""))
+        for addr, size, value in watchpoint.hits:
+            print("     wrote 0x%08x (%d bytes): %d" % (addr, size,
+                                                        value))
+    if args.stats:
+        cpu = debugger.cpu
+        print("-- %d instructions, %d cycles, %d stores"
+              % (cpu.instructions, cpu.cycles, cpu.stores))
+        for tag in sorted(cpu.tag_counts):
+            print("     %-12s %9d insns %10d cycles"
+                  % (tag, cpu.tag_counts[tag], cpu.tag_cycles[tag]))
+    return 0
+
+
+def _command_asm(args) -> int:
+    from repro.minic.codegen import compile_source
+
+    with open(args.file) as handle:
+        source = handle.read()
+    asm = compile_source(source, lang=args.lang)
+    if args.instrument:
+        from repro.instrument.rewriter import instrument_source
+        inst = instrument_source(asm, args.instrument)
+        from repro.asm.ast import AsmInsn, Label
+        lines = []
+        for stmt in inst.statements:
+            if isinstance(stmt, Label):
+                lines.append("%s:" % stmt.name)
+            elif isinstance(stmt, AsmInsn):
+                note = "   ! %s" % stmt.tag if stmt.tag != "orig" else ""
+                lines.append("\t%r%s" % (stmt, note))
+            else:
+                lines.append("\t%r" % (stmt,))
+        print("\n".join(lines))
+    else:
+        print(asm)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "debug":
+        from repro.debugger.repl import run_repl
+        with open(args.file) as handle:
+            source = handle.read()
+        optimize = None if args.optimize == "none" else args.optimize
+        run_repl(source, lang=args.lang, strategy=args.strategy,
+                 optimize=optimize)
+        return 0
+    if args.command == "asm":
+        return _command_asm(args)
+    if args.command == "breakeven":
+        from repro.eval.breakeven import main as breakeven_main
+        breakeven_main()
+        return 0
+    module_name, _default = _EVAL_COMMANDS[args.command]
+    import importlib
+    module = importlib.import_module(module_name)
+    module.main(args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

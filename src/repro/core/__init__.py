@@ -1,0 +1,11 @@
+"""The paper's contribution: the monitored region service.
+
+Segmented bitmap (§3), superpage range index (§4.3), monitor library
+generation, Kessler-style dynamic check patches, and the
+``MonitoredRegionService`` front object (§2).
+"""
+
+from repro.core.regions import MonitoredRegion, RegionSet
+from repro.core.service import MonitoredRegionService
+
+__all__ = ["MonitoredRegion", "RegionSet", "MonitoredRegionService"]

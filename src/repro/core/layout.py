@@ -1,0 +1,75 @@
+"""Address-space layout of the monitor library's data structures.
+
+The monitor data structures live *in the address space of the program
+being debugged* (§2.1).  This module fixes where, and how segment
+numbers / bitmap indices are derived from target addresses:
+
+* ``segment number = target_address >> seg_shift`` where
+  ``seg_shift = log2(segment_bytes)`` (§3: "Right shifting the target
+  address by log2(SEGMENT-SIZE) bits yields its segment number").
+* the segment table is an array of segment pointers indexed by segment
+  number; a null pointer means the segment contains no monitored words
+  (our encoding of the paper's *unmonitored* flag — see DESIGN.md);
+* bitmap segments are allocated lazily from an arena;
+* a small superpage-count table supports the §4.3 range checks: one
+  region count per 2^25-byte span, so a range check needs at most three
+  memory accesses.
+"""
+
+from __future__ import annotations
+
+SEG_TABLE_BASE = 0xA0000000
+SUPERPAGE_TABLE_BASE = 0xA4000000
+SHADOW_BASE = 0xA6000000       # %fp shadow stack for symbol-opt checking
+ARENA_BASE = 0xA8000000
+SUPERPAGE_SHIFT = 25           # 2^25-byte superpages (§4.3)
+
+#: paper's choice: "all experiments ... performed with a 128 word
+#: segment size" (§3.1)
+DEFAULT_SEGMENT_WORDS = 128
+
+
+class MonitorLayout:
+    """Derived constants for one choice of segment size."""
+
+    def __init__(self, segment_words: int = DEFAULT_SEGMENT_WORDS):
+        if segment_words < 32 or segment_words & (segment_words - 1):
+            raise ValueError("segment size must be a power of two >= 32")
+        self.segment_words = segment_words
+        self.segment_bytes = segment_words * 4
+        self.seg_shift = self.segment_bytes.bit_length() - 1
+        #: words of bitmap per segment (one bit per program word)
+        self.bitmap_words = segment_words // 32
+        self.seg_table_base = SEG_TABLE_BASE
+        self.superpage_table_base = SUPERPAGE_TABLE_BASE
+        self.superpage_shift = SUPERPAGE_SHIFT
+        self.arena_base = ARENA_BASE
+        self.shadow_base = SHADOW_BASE
+        self.num_segments = (1 << 32) >> self.seg_shift
+
+    def segment_of(self, addr: int) -> int:
+        return (addr & 0xFFFFFFFF) >> self.seg_shift
+
+    def seg_table_entry(self, segment: int) -> int:
+        """Address of the segment-table slot for *segment*."""
+        return self.seg_table_base + 4 * segment
+
+    def word_index_in_segment(self, addr: int) -> int:
+        return (addr >> 2) & (self.segment_words - 1)
+
+    def superpage_of(self, addr: int) -> int:
+        return (addr & 0xFFFFFFFF) >> self.superpage_shift
+
+    def superpage_entry(self, superpage: int) -> int:
+        return self.superpage_table_base + 4 * superpage
+
+    def table_bytes(self) -> int:
+        """Size of the (eagerly addressed, lazily touched) segment table."""
+        return 4 * self.num_segments
+
+    def __repr__(self) -> str:
+        return "<MonitorLayout %d-word segments, shift %d>" % (
+            self.segment_words, self.seg_shift)
+
+
+DEFAULT_LAYOUT = MonitorLayout()

@@ -1,0 +1,103 @@
+"""Monitored regions (§2).
+
+A monitored region is a contiguous, word-aligned, non-overlapping span
+of memory.  :class:`RegionSet` is the host-side bookkeeping shared by the
+segmented bitmap, the superpage range index and the tests' naive oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class RegionError(Exception):
+    """Raised for invalid region arguments (alignment, overlap, ...)."""
+
+
+class MonitoredRegion:
+    """``[start, start+size)``, word aligned (§2)."""
+
+    __slots__ = ("start", "size")
+
+    def __init__(self, start: int, size: int):
+        if start & 3:
+            raise RegionError("region start 0x%x not word aligned" % start)
+        if size <= 0 or size & 3:
+            raise RegionError("region size %d not a positive multiple of 4"
+                              % size)
+        self.start = start & 0xFFFFFFFF
+        self.size = size
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def overlaps(self, other: "MonitoredRegion") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def words(self) -> Iterator[int]:
+        return iter(range(self.start, self.end, 4))
+
+    def key(self) -> Tuple[int, int]:
+        return (self.start, self.size)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, MonitoredRegion)
+                and self.key() == other.key())
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return "<region 0x%x..0x%x>" % (self.start, self.end)
+
+
+class RegionSet:
+    """A set of non-overlapping monitored regions with membership queries.
+
+    This is also the reference ("oracle") implementation the property
+    tests compare the segmented bitmap against.
+    """
+
+    def __init__(self):
+        self._regions: Dict[Tuple[int, int], MonitoredRegion] = {}
+
+    def add(self, region: MonitoredRegion) -> None:
+        for existing in self._regions.values():
+            if region.overlaps(existing):
+                raise RegionError("%r overlaps %r" % (region, existing))
+        self._regions[region.key()] = region
+
+    def remove(self, region: MonitoredRegion) -> None:
+        if region.key() not in self._regions:
+            raise RegionError("%r is not monitored" % region)
+        del self._regions[region.key()]
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[MonitoredRegion]:
+        return iter(self._regions.values())
+
+    def find(self, addr: int, size: int = 1) -> Optional[MonitoredRegion]:
+        """Region intersecting ``[addr, addr+size)``, if any."""
+        for region in self._regions.values():
+            if addr < region.end and region.start < addr + size:
+                return region
+        return None
+
+    def hit(self, addr: int, size: int = 1) -> bool:
+        return self.find(addr, size) is not None
+
+    def intersects_range(self, lo: int, hi: int) -> bool:
+        """Any region intersecting the inclusive byte range [lo, hi]?"""
+        for region in self._regions.values():
+            if lo < region.end and region.start <= hi:
+                return True
+        return False
+
+    def regions(self) -> List[MonitoredRegion]:
+        return sorted(self._regions.values(), key=MonitoredRegion.key)

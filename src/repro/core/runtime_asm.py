@@ -1,0 +1,167 @@
+"""Monitor library, generated as assembly and run in the simulator.
+
+§2.1: "The runtime *monitor library* contains the data structures
+necessary to check whether a target address represents a monitor hit."
+Running the library inside the simulator (rather than modelling it
+host-side) means its loads go through the simulated cache and its
+``save`` pushes a real register window — the costs Table 1 compares.
+
+Register protocol (see DESIGN.md):
+
+* ``%g2`` — global *disabled* flag (1 = no breakpoints active);
+* ``%g3`` — *check-in-progress* flag (§2.1);
+* ``%g4`` — target address of the checked write;
+* ``%g5`` — segment-table base (reserved-register strategies);
+* ``%g6``/``%g7`` — scratch; ``%g6`` carries the access size to the
+  ``ta 0x42`` monitor-hit trap (bit 8 set for read checks);
+* ``%m0``-``%m3`` — per-write-type segment caches (§3.1).
+
+Entry points generated here:
+
+* ``__mrs_check_{w,r}{1,4,8}`` — procedure-call segmented-bitmap lookup
+  (pushes a register window; used by the *Bitmap* strategy and by
+  re-inserted Kessler patches; the width-8 variant tests two adjacent
+  bits for aligned ``std``);
+* ``__mrs_miss_<k>_{w,r}{1,4,8}`` — segment-cache miss handler for write
+  type ``k`` (expects the segment number in ``%g6``); only updates the
+  cache when the segment has no monitored regions (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.layout import MonitorLayout
+
+TRAP_MONITOR_HIT = 0x42
+#: bit 8 of %g6 marks the access as a read (access-anomaly extension, §5)
+READ_FLAG = 0x100
+
+#: write types (§3.1): per-type segment caches live in %m0..%m3
+WRITE_TYPE_STACK = 0
+WRITE_TYPE_BSS = 1
+WRITE_TYPE_HEAP = 2
+WRITE_TYPE_BSS_VAR = 3
+WRITE_TYPE_NAMES = {WRITE_TYPE_STACK: "STACK", WRITE_TYPE_BSS: "BSS",
+                    WRITE_TYPE_HEAP: "HEAP", WRITE_TYPE_BSS_VAR: "BSS-VAR"}
+NUM_WRITE_TYPES = 4
+
+#: value no shifted address can equal; used to invalidate segment caches
+INVALID_SEGMENT = 0xFFFFFFFF
+
+
+def size_code(width: int, is_read: bool) -> int:
+    return width | (READ_FLAG if is_read else 0)
+
+
+def _full_lookup(lines: List[str], layout: MonitorLayout, seg_ptr: str,
+                 scratch_a: str, scratch_b: str, done_label: str,
+                 width: int, is_read: bool) -> None:
+    """Emit the bit test given a non-null segment pointer in *seg_ptr*.
+
+    Clobbers the two scratch registers; falls into the hit report and
+    branches to *done_label* on a miss.  Doubleword accesses test two
+    adjacent bits in one lookup — an aligned ``std`` covers an even word
+    index, so both bits always share a bitmap word (§3: "one-word and
+    two-word checks incur identical overhead").
+    """
+    mask = layout.segment_words - 1
+    bit_mask = 3 if width == 8 else 1
+    lines += [
+        "\tsrl %%g4, 2, %s" % scratch_a,
+        "\tand %s, %d, %s" % (scratch_a, mask, scratch_a),
+        "\tsrl %s, 5, %s" % (scratch_a, scratch_b),
+        "\tsll %s, 2, %s" % (scratch_b, scratch_b),
+        "\tld [%s+%s], %s" % (seg_ptr, scratch_b, scratch_b),
+        "\tand %s, 31, %s" % (scratch_a, scratch_a),
+        "\tsrl %s, %s, %s" % (scratch_b, scratch_a, scratch_b),
+        "\tandcc %s, %d, %%g0" % (scratch_b, bit_mask),
+        "\tbe %s" % done_label,
+        "\tnop",
+        "\tmov %d, %%g6" % size_code(width, is_read),
+        "\tta 0x%x" % TRAP_MONITOR_HIT,
+    ]
+
+
+def check_routine(layout: MonitorLayout, width: int,
+                  is_read: bool = False) -> List[str]:
+    """Procedure-call bitmap lookup (§3 "Bitmap"): addr in %g4."""
+    kind = "r" if is_read else "w"
+    name = "__mrs_check_%s%d" % (kind, width)
+    done = name + "_done"
+    lines = [
+        "%s:" % name,
+        "\tsave %sp, -96, %sp",
+        "\tmov 1, %g3",
+        "\tset %d, %%l0" % layout.seg_table_base,
+        "\tsrl %%g4, %d, %%l1" % layout.seg_shift,
+        "\tsll %l1, 2, %l1",
+        "\tld [%l0+%l1], %l2",
+        "\ttst %l2",
+        "\tbe %s" % done,
+        "\tnop",
+    ]
+    _full_lookup(lines, layout, "%l2", "%l3", "%l4", done, width, is_read)
+    lines += [
+        "%s:" % done,
+        "\tmov 0, %g3",
+        "\tret",
+        "\trestore",
+    ]
+    return lines
+
+
+def miss_routine(layout: MonitorLayout, write_type: int, width: int,
+                 is_read: bool = False) -> List[str]:
+    """Segment-cache miss handler (§3.1 "Cache"): segment number in %g6.
+
+    Updates the per-type cache register only when the missed segment has
+    no monitored regions; otherwise performs the full lookup.
+    """
+    kind = "r" if is_read else "w"
+    name = "__mrs_miss_%d_%s%d" % (write_type, kind, width)
+    full = name + "_full"
+    done = name + "_done"
+    cache_reg = "%%m%d" % write_type
+    lines = [
+        "%s:" % name,
+        "\t.tag miss_entry",     # first insn tagged so cache-miss
+        "\tsave %sp, -96, %sp",  # executions can be counted (Figure 3)
+        "\t.tag lib",
+        "\tmov 1, %g3",
+        "\tset %d, %%l0" % layout.seg_table_base,
+        "\tsll %g6, 2, %l1",
+        "\tld [%l0+%l1], %l2",
+        "\ttst %l2",
+        "\tbne %s" % full,
+        "\tnop",
+        "\tmov %%g6, %s" % cache_reg,
+        "\tba %s" % done,
+        "\tnop",
+        "%s:" % full,
+    ]
+    _full_lookup(lines, layout, "%l2", "%l3", "%l4", done, width, is_read)
+    lines += [
+        "%s:" % done,
+        "\tmov 0, %g3",
+        "\tret",
+        "\trestore",
+    ]
+    return lines
+
+
+def library_source(layout: MonitorLayout, with_cache: bool = False,
+                   with_reads: bool = False) -> str:
+    """Assembly text of the monitor library."""
+    lines: List[str] = ["\t.text", "\t.tag lib"]
+    kinds = [(4, False), (1, False), (8, False)]
+    if with_reads:
+        kinds += [(4, True), (1, True), (8, True)]
+    for width, is_read in kinds:
+        lines += check_routine(layout, width, is_read)
+    if with_cache:
+        for write_type in range(NUM_WRITE_TYPES):
+            for width, is_read in kinds:
+                lines += miss_routine(layout, write_type, width, is_read)
+    lines.append("\t.tag orig")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,263 @@
+"""The Monitored Region Service (§2).
+
+``MonitoredRegionService`` is the debugger-side object that owns the
+monitor data structures inside the debuggee (segmented bitmap, superpage
+counts), the reserved-register state, the monitor-hit trap handlers, and
+dynamic code patching (Kessler patches for eliminated checks, §4).
+
+Interface, following the paper:
+
+* :meth:`create_region` / :meth:`delete_region` — the §2
+  ``CreateMonitoredRegion`` / ``DeleteMonitoredRegion`` operations;
+* :meth:`add_callback` — registers a §2 ``NotificationCallBack``;
+* :meth:`pre_monitor` / :meth:`post_monitor` — the §4.2 operations that
+  re-insert / remove checks on *known* write instructions for a symbol;
+* :meth:`enable` / :meth:`disable` — the global disabled flag (§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.asm.loader import LoadedProgram
+from repro.core.bitmap import SegmentedBitmap
+from repro.core.ranges import SuperpageIndex
+from repro.core.regions import MonitoredRegion, RegionSet
+from repro.core.runtime_asm import INVALID_SEGMENT, NUM_WRITE_TYPES
+from repro.instrument.rewriter import InstrumentResult
+from repro.isa import instructions as I
+from repro.isa.registers import REGISTER_IDS
+
+TRAP_MONITOR_HIT = 0x42
+TRAP_PREHEADER_HIT = 0x45
+TRAP_JMP_CHECK = 0x46
+
+_G2 = REGISTER_IDS["%g2"]
+_G3 = REGISTER_IDS["%g3"]
+_G4 = REGISTER_IDS["%g4"]
+_G5 = REGISTER_IDS["%g5"]
+_G6 = REGISTER_IDS["%g6"]
+
+#: callback signature: (target_address, size_bytes, is_read)
+NotificationCallBack = Callable[[int, int, bool], None]
+
+
+class MrsError(Exception):
+    """Raised for invalid MRS operations."""
+
+
+class MonitoredRegionService:
+    def __init__(self, loaded: LoadedProgram,
+                 instrumentation: InstrumentResult):
+        if instrumentation.program is None:
+            raise MrsError("instrumentation must be assembled before "
+                           "attaching the MRS")
+        self.loaded = loaded
+        self.cpu = loaded.cpu
+        self.inst = instrumentation
+        self.layout = instrumentation.layout
+        self.bitmap = SegmentedBitmap(self.cpu.mem, self.layout)
+        self.superpages = SuperpageIndex(self.cpu.mem, self.layout)
+        self.regions = RegionSet()
+        #: every (addr, size, is_read) notification, in order
+        self.hits: List[Tuple[int, int, bool]] = []
+        self.callbacks: List[NotificationCallBack] = []
+        #: per-loop count of pre-header check hits
+        self.preheader_hits: Dict[int, int] = {}
+        #: per-site activation reason counts ("symbol"/"loop")
+        self._active_reasons: Dict[int, Dict[str, int]] = {}
+        self.enabled = False
+        self._install()
+
+    # -- setup --------------------------------------------------------------
+
+    def _install(self) -> None:
+        regs = self.cpu.regs
+        regs.write(_G2, 1)  # disabled until enable()
+        regs.write(_G3, 0)
+        regs.write(_G5, self.layout.seg_table_base)
+        for k in range(NUM_WRITE_TYPES):
+            regs.write(REGISTER_IDS["%%m%d" % k], INVALID_SEGMENT)
+        if self.inst.plan.uses_shadow_stack:
+            # %m1 doubles as the %fp shadow-stack pointer (§4.2); the
+            # rewriter guarantees no Cache strategy is in use then
+            regs.write(REGISTER_IDS["%m1"], self.layout.shadow_base)
+        self.cpu.trap_handlers[TRAP_MONITOR_HIT] = self._on_hit
+        self.cpu.trap_handlers[TRAP_PREHEADER_HIT] = self._on_preheader
+        self.cpu.trap_handlers[TRAP_JMP_CHECK] = self._on_jmp_check
+
+    # -- trap handlers ----------------------------------------------------------
+
+    def _on_hit(self, cpu) -> None:
+        addr = cpu.regs.read(_G4)
+        code = cpu.regs.read(_G6)
+        size = code & 0xFF
+        is_read = bool(code & 0x100)
+        self.hits.append((addr, size, is_read))
+        for callback in self.callbacks:
+            callback(addr, size, is_read)
+
+    def _on_preheader(self, cpu) -> None:
+        """A loop pre-header check succeeded: the loop may write a
+        monitored region, so re-insert the eliminated in-loop checks."""
+        loop_id = cpu.regs.read(_G6)
+        self.preheader_hits[loop_id] = \
+            self.preheader_hits.get(loop_id, 0) + 1
+        for site in self.inst.plan.loop_sites.get(loop_id, ()):
+            # idempotent: the pre-header fires once per loop entry but
+            # the site needs only one "loop" activation
+            if "loop" not in self._active_reasons.get(site, {}):
+                self._activate(site, "loop")
+
+    def _on_jmp_check(self, cpu) -> None:
+        """Indirect-jump verification (§4.2): the target must be a known
+        function entry or a return into the caller's code."""
+        target = cpu.regs.read(_G6)
+        program = self.inst.program
+        if program is None:
+            return
+        text_lo = program.text_base
+        text_hi = text_lo + 4 * len(program.insns)
+        if not (text_lo <= target < text_hi):
+            from repro.machine.traps import DebuggeeFault
+            raise DebuggeeFault("indirect jump to 0x%x outside text"
+                                % target)
+
+    # -- the §2 interface ---------------------------------------------------------
+
+    def add_callback(self, callback: NotificationCallBack) -> None:
+        self.callbacks.append(callback)
+
+    def enable(self) -> None:
+        self.cpu.regs.write(_G2, 0)
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.cpu.regs.write(_G2, 1)
+        self.enabled = False
+
+    def create_region(self, start: int, size: int,
+                      mid_run: bool = False) -> MonitoredRegion:
+        """§2 ``CreateMonitoredRegion``.
+
+        Pass ``mid_run=True`` when the debuggee is stopped *inside*
+        running code (e.g. at a breakpoint): loops whose pre-header
+        checks already executed this entry would otherwise miss the new
+        region until their next entry, so their eliminated checks are
+        conservatively re-inserted.
+        """
+        region = MonitoredRegion(start, size)
+        self.regions.add(region)
+        touched = self.bitmap.set_region(region)
+        self.superpages.add_region(region)
+        self._invalidate_caches(touched)
+        if mid_run:
+            self.activate_loop_checks()
+        return region
+
+    def activate_loop_checks(self) -> int:
+        """Conservatively re-insert every loop-eliminated check (they
+        retract when the last region is deleted).  Returns the number of
+        sites activated."""
+        activated = 0
+        for loop_id, sites in self.inst.plan.loop_sites.items():
+            for site in sites:
+                if "loop" not in self._active_reasons.get(site, {}):
+                    self._activate(site, "loop")
+                    activated += 1
+        return activated
+
+    def delete_region(self, region: MonitoredRegion) -> None:
+        self.regions.remove(region)
+        self.bitmap.clear_region(region)
+        self.superpages.remove_region(region)
+        if len(self.regions) == 0:
+            # no regions left: retract all loop-activated checks
+            for site in list(self._active_reasons):
+                self._deactivate(site, "loop")
+
+    # -- §4.2 PreMonitor / PostMonitor -----------------------------------------
+
+    def pre_monitor(self, symbol: str, func: Optional[str] = None) -> int:
+        """Re-insert checks on the known writes of *symbol*.
+
+        Returns the number of sites patched.  The caller should follow
+        with :meth:`create_region` on the symbol's storage, since the
+        symbol can also be written through aliases (§4.2).
+        """
+        sites = self._symbol_site_list(symbol, func)
+        for site in sites:
+            self._activate(site, "symbol")
+        return len(sites)
+
+    def post_monitor(self, symbol: str, func: Optional[str] = None) -> int:
+        sites = self._symbol_site_list(symbol, func)
+        for site in sites:
+            self._deactivate(site, "symbol")
+        return len(sites)
+
+    def _symbol_site_list(self, symbol: str,
+                          func: Optional[str]) -> List[int]:
+        plan = self.inst.plan
+        if func is not None:
+            return plan.symbol_sites.get((func, symbol), [])
+        sites: List[int] = []
+        for (_func, name), site_list in plan.symbol_sites.items():
+            if name == symbol:
+                sites.extend(site_list)
+        return sites
+
+    # -- dynamic patching --------------------------------------------------------
+
+    def _activate(self, site: int, reason: str) -> None:
+        info = self.inst.patchable.get(site)
+        if info is None:
+            return  # site was never eliminated; its inline check stands
+        reasons = self._active_reasons.setdefault(site, {})
+        if not reasons:
+            branch = I.BranchInsn("a", info.patch_addr, annul=True)
+            branch.tag = "patch"
+            self.cpu.code.patch(info.addr, branch)
+            info.active = True
+        reasons[reason] = reasons.get(reason, 0) + 1
+
+    def _deactivate(self, site: int, reason: str) -> None:
+        info = self.inst.patchable.get(site)
+        if info is None:
+            return
+        reasons = self._active_reasons.get(site)
+        if not reasons or reason not in reasons:
+            return
+        reasons[reason] -= 1
+        if reasons[reason] <= 0:
+            del reasons[reason]
+        if not reasons:
+            self.cpu.code.patch(info.addr, info.original_insn)
+            info.active = False
+            del self._active_reasons[site]
+
+    def active_sites(self) -> List[int]:
+        return sorted(self._active_reasons)
+
+    # -- cache invalidation -------------------------------------------------------
+
+    def _invalidate_caches(self, touched_segments) -> None:
+        """Creating a region in segment S invalidates any %m cache
+        holding S: the caches may only name unmonitored segments (§3.1).
+        """
+        regs = self.cpu.regs
+        for k in range(NUM_WRITE_TYPES):
+            rid = REGISTER_IDS["%%m%d" % k]
+            if regs.read(rid) in touched_segments:
+                regs.write(rid, INVALID_SEGMENT)
+
+    # -- introspection -------------------------------------------------------------
+
+    def hit_count(self) -> int:
+        return len(self.hits)
+
+    def space_overhead(self) -> Tuple[int, int]:
+        """(bitmap bytes allocated, program data+text bytes) for §3."""
+        program = self.inst.program
+        program_bytes = program.text_size() + program.data_size()
+        return self.bitmap.bitmap_bytes_allocated(), program_bytes

@@ -1,0 +1,8 @@
+"""Source-level debugger built on the monitored region service."""
+
+from repro.debugger.debugger import (Breakpoint, Debugger, DebuggerError,
+                                     Watchpoint)
+from repro.debugger.fault_isolation import FaultIsolator, Violation
+
+__all__ = ["Debugger", "DebuggerError", "Watchpoint", "Breakpoint",
+           "FaultIsolator", "Violation"]

@@ -1,0 +1,339 @@
+"""Source-level data breakpoints: the debugger the MRS was built for.
+
+§2: "It is the responsibility of the debugger to map source language
+names used in the break conditions to monitored regions, and to create
+and delete monitored regions as necessary."  This module is that
+debugger: it resolves mini-C names (``g``, ``a[3]``, ``s.f``, locals by
+function) through the symbol table, pairs ``PreMonitor`` with
+``CreateMonitoredRegion`` as §4.2 requires, and dispatches watchpoint
+actions (print / count / stop / user callback) from monitor-hit
+notifications.
+
+Control breakpoints (``break_at``) are implemented with the same
+Kessler-style patching the MRS uses for write checks, so the debugger
+can stop a program and then watch frame-local variables at a live
+frame.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.asm.symtab import SymbolError, SymEntry
+from repro.isa.instructions import to_signed
+from repro.core.regions import MonitoredRegion
+from repro.instrument.plan import OptimizationPlan
+from repro.isa import instructions as I
+from repro.isa.registers import FP
+from repro.minic.codegen import compile_source
+from repro.optimizer.pipeline import build_plan
+from repro.session import DebugSession
+
+TRAP_BREAKPOINT = 0x48
+
+_INDEX_RE = re.compile(r"^(\w+)\[(\d+)\]$")
+
+
+class DebuggerError(Exception):
+    """Raised for unresolvable names or invalid debugger requests."""
+
+
+class Watchpoint:
+    """One active data breakpoint."""
+
+    def __init__(self, debugger: "Debugger", name: str, entry: SymEntry,
+                 region: MonitoredRegion, action: str,
+                 condition: Optional[Callable[[int], bool]],
+                 callback: Optional[Callable], func: Optional[str]):
+        self.debugger = debugger
+        self.name = name
+        self.entry = entry
+        self.region = region
+        self.action = action
+        self.condition = condition
+        self.callback = callback
+        self.func = func
+        self.hits: List[Tuple[int, int, int]] = []  # (addr, size, value)
+        self.enabled = True
+
+    def hit_count(self) -> int:
+        return len(self.hits)
+
+    def last_value(self) -> Optional[int]:
+        return self.hits[-1][2] if self.hits else None
+
+    def delete(self) -> None:
+        self.debugger.unwatch(self)
+
+
+class Breakpoint:
+    """One control breakpoint, patched at a function entry."""
+
+    def __init__(self, func_name: str, addr: int, block_addr: int,
+                 original: I.Instruction,
+                 callback: Optional[Callable]):
+        self.func_name = func_name
+        self.addr = addr
+        self.block_addr = block_addr
+        self.original = original
+        self.callback = callback
+        self.hits = 0
+
+
+class Debugger:
+    """A data-breakpoint debugging session on one program."""
+
+    def __init__(self, session: DebugSession):
+        self.session = session
+        self.mrs = session.mrs
+        self.cpu = session.cpu
+        self.symtab = session.program.symtab
+        self.watchpoints: List[Watchpoint] = []
+        #: (start, size) -> [region, refcount]: watchpoints on the same
+        #: storage share one monitored region (regions must not overlap)
+        self._region_refs: Dict[Tuple[int, int], list] = {}
+        self.breakpoints: Dict[int, Breakpoint] = {}
+        self.stop_reason: Optional[str] = None
+        self.stopped_watch: Optional[Watchpoint] = None
+        self._started = False
+        self.log: List[str] = []
+        self.mrs.add_callback(self._on_hit)
+        self.cpu.trap_handlers[TRAP_BREAKPOINT] = self._on_breakpoint
+        self.mrs.enable()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def for_source(cls, c_source: str, lang: str = "C",
+                   strategy: str = "BitmapInlineRegisters",
+                   optimize: Optional[str] = "full",
+                   monitor_reads: bool = False) -> "Debugger":
+        """Compile, instrument and attach a debugger to mini-C source."""
+        asm = compile_source(c_source, lang=lang)
+        plan: Optional[OptimizationPlan] = None
+        if optimize:
+            _stmts, plan = build_plan(asm, mode=optimize)
+        session = DebugSession.from_asm(asm, strategy=strategy, plan=plan,
+                                        monitor_reads=monitor_reads)
+        return cls(session)
+
+    # -- name resolution -------------------------------------------------------
+
+    def resolve(self, expression: str, func: Optional[str] = None
+                ) -> Tuple[SymEntry, int, int]:
+        """Resolve a watch expression to (entry, address, size).
+
+        Supported forms: ``g``, ``a[3]``, ``s.f`` (field stabs), and —
+        when *func*'s frame is live (stopped at a breakpoint in it) —
+        frame-local names.
+        """
+        name = expression.strip()
+        index: Optional[int] = None
+        match = _INDEX_RE.match(name)
+        if match:
+            name, index = match.group(1), int(match.group(2))
+        try:
+            entry = self.symtab.lookup(name, func)
+        except SymbolError:
+            raise DebuggerError("no symbol %r (func=%r)" % (name, func))
+        if entry.kind == "register":
+            raise DebuggerError(
+                "%s lives in a register; registers cannot be aliased so "
+                "watch assignments to it with a control breakpoint "
+                "instead (§2)" % name)
+        if entry.is_frame_relative():
+            if func is None:
+                raise DebuggerError("%r is frame-local; pass func=" % name)
+            base = (self.cpu.regs.read(FP) + entry.offset) & 0xFFFFFFFF
+        else:
+            base = entry.address
+        size = entry.size
+        if index is not None:
+            elem = entry.elem or 4
+            if index * elem >= entry.size:
+                raise DebuggerError("%s[%d] out of range" % (name, index))
+            base += index * elem
+            size = elem
+        return entry, base, size
+
+    # -- data breakpoints ---------------------------------------------------------
+
+    def watch(self, expression: str, func: Optional[str] = None,
+              action: str = "log",
+              condition: Optional[Callable[[int], bool]] = None,
+              callback: Optional[Callable] = None) -> Watchpoint:
+        """Create a data breakpoint on *expression*.
+
+        ``action``: "log" (record hits), "print" (also append to
+        ``self.log``), "stop" (suspend execution), or "call" (invoke
+        *callback*).  *condition* filters hits by the newly written
+        value.
+        """
+        entry, addr, size = self.resolve(expression, func)
+        # §4.2 protocol: patch known writes first, then create the region
+        self.mrs.pre_monitor(entry.name, func)
+        key = (addr, (size + 3) & ~3)
+        ref = self._region_refs.get(key)
+        if ref is None:
+            # a watch placed while stopped mid-run must re-insert checks
+            # in loops whose pre-headers already executed this entry
+            region = self.mrs.create_region(*key,
+                                            mid_run=self._started)
+            ref = [region, 0]
+            self._region_refs[key] = ref
+        ref[1] += 1
+        region = ref[0]
+        watchpoint = Watchpoint(self, expression, entry, region, action,
+                                condition, callback, func)
+        self.watchpoints.append(watchpoint)
+        return watchpoint
+
+    def unwatch(self, watchpoint: Watchpoint) -> None:
+        if watchpoint not in self.watchpoints:
+            return
+        self.watchpoints.remove(watchpoint)
+        region = watchpoint.region
+        key = (region.start, region.size)
+        ref = self._region_refs.get(key)
+        if ref is not None:
+            ref[1] -= 1
+            if ref[1] <= 0:
+                self.mrs.delete_region(region)
+                del self._region_refs[key]
+        self.mrs.post_monitor(watchpoint.entry.name, watchpoint.func)
+
+    def _on_hit(self, addr: int, size: int, is_read: bool) -> None:
+        for watchpoint in self.watchpoints:
+            if not watchpoint.enabled:
+                continue
+            region = watchpoint.region
+            if not (addr < region.end and region.start < addr + size):
+                continue
+            value = to_signed(self.cpu.mem.read_word(addr & ~3))
+            if watchpoint.condition is not None and \
+                    not watchpoint.condition(value):
+                continue
+            watchpoint.hits.append((addr, size, value))
+            if watchpoint.action == "print":
+                self.log.append("%s = %d" % (watchpoint.name, value))
+            elif watchpoint.action == "stop":
+                self.stop_reason = "watch"
+                self.stopped_watch = watchpoint
+                self.cpu.stop()
+                self.cpu.exit_code = None
+            elif watchpoint.action == "call" and watchpoint.callback:
+                watchpoint.callback(watchpoint, addr, size, value)
+
+    # -- control breakpoints ---------------------------------------------------------
+
+    def break_at(self, func_name: str,
+                 callback: Optional[Callable] = None) -> Breakpoint:
+        """Stop when *func_name* is entered (after its prologue save)."""
+        program = self.session.program
+        func = program.function_named(func_name)
+        # patch the instruction after the save so %fp is established
+        addr = func.address + 4
+        original = self.cpu.code.at(addr)
+        if original is None or isinstance(
+                original, (I.BranchInsn, I.CallInsn, I.JmplInsn)):
+            raise DebuggerError("cannot place breakpoint in %s"
+                                % func_name)
+        trap = I.TrapInsn(TRAP_BREAKPOINT)
+        trap.tag = "patch"
+        back = I.BranchInsn("a", addr + 4, annul=True)
+        back.tag = "patch"
+        block_addr = self.cpu.code.append_block([trap, original, back])
+        jump = I.BranchInsn("a", block_addr, annul=True)
+        jump.tag = "patch"
+        self.cpu.code.patch(addr, jump)
+        breakpoint = Breakpoint(func_name, addr, block_addr, original,
+                                callback)
+        self.breakpoints[block_addr] = breakpoint
+        return breakpoint
+
+    def clear_breakpoint(self, breakpoint: Breakpoint) -> None:
+        self.cpu.code.patch(breakpoint.addr, breakpoint.original)
+        self.breakpoints.pop(breakpoint.block_addr, None)
+
+    def _on_breakpoint(self, cpu) -> None:
+        breakpoint = self.breakpoints.get(cpu.pc)
+        if breakpoint is None:
+            return
+        breakpoint.hits += 1
+        if breakpoint.callback is not None:
+            breakpoint.callback(self, breakpoint)
+        else:
+            self.stop_reason = "breakpoint:%s" % breakpoint.func_name
+            self.cpu.stop()
+            self.cpu.exit_code = None
+
+    # -- inspection ---------------------------------------------------------------
+
+    def disassemble(self, func_name: str) -> str:
+        """Disassemble *func_name* as currently patched, marking the pc.
+
+        Shows inserted checks (tagged), write-site ids, and any active
+        Kessler patches — what the MRS actually did to the code.
+        """
+        from repro.machine.disasm import disassemble_function
+
+        return disassemble_function(self.session.program, self.cpu.code,
+                                    func_name, mark=self.cpu.pc)
+
+    # -- checkpoint / replay (§5) -------------------------------------------------
+
+    def checkpoint(self):
+        """Snapshot the debuggee for replayed execution (§5).
+
+        Watchpoints may be added or removed between :meth:`restore` and
+        the next :meth:`run` — the classic replay loop narrows in on a
+        corruption across repeated re-executions.
+        """
+        from repro.machine.checkpoint import Checkpoint
+
+        snapshot = Checkpoint(self.cpu, output=self.session.output,
+                              mrs=self.mrs)
+        extra = (list(self.watchpoints),
+                 [list(w.hits) for w in self.watchpoints],
+                 list(self.log), self._started,
+                 {key: list(ref) for key, ref in
+                  self._region_refs.items()})
+        return (snapshot, extra)
+
+    def restore(self, checkpoint) -> None:
+        """Rewind the debuggee to a :meth:`checkpoint` — including the
+        watchpoint set as it stood then."""
+        snapshot, (watchpoints, hits, log, started,
+                   region_refs) = checkpoint
+        snapshot.restore(self.cpu, output=self.session.output,
+                         mrs=self.mrs)
+        self.watchpoints = list(watchpoints)
+        for watchpoint, saved in zip(self.watchpoints, hits):
+            watchpoint.hits = list(saved)
+        self.log = list(log)
+        self._started = started
+        self._region_refs = {key: list(ref)
+                             for key, ref in region_refs.items()}
+        self.stop_reason = None
+        self.stopped_watch = None
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, max_instructions: int = 400_000_000) -> str:
+        """Run or resume; returns the stop reason ("exited", "watch",
+        "breakpoint:<func>")."""
+        self.stop_reason = None
+        self.stopped_watch = None
+        if not self._started:
+            self._started = True
+            self.cpu.pc = self.session.loaded.entry
+            self.cpu.npc = self.cpu.pc + 4
+        self.cpu.run(start=None, max_instructions=max_instructions)
+        if self.stop_reason is None:
+            self.stop_reason = "exited"
+        return self.stop_reason
+
+    @property
+    def output(self) -> List[str]:
+        return self.session.output

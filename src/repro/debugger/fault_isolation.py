@@ -1,0 +1,86 @@
+"""Fault isolation (§5): restrict which code may write a data structure.
+
+"Data breakpoints can be combined with control breakpoints to support
+fault isolation.  Using this technique, programmers can prevent a
+subset of their program's code from accessing a given data structure.
+For example, a programmer could detect corruption of library data
+structures such as those used by a memory allocator."
+
+The isolator watches a region and attributes every hit to the write
+site (and thus the function) that produced it; writes from functions
+outside the allow-list are violations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.instrument.rewriter import InstrumentResult
+from repro.isa.registers import REGISTER_IDS
+
+_I7 = REGISTER_IDS["%i7"]
+
+
+def attribute_hit(cpu, inst: InstrumentResult) -> Optional[int]:
+    """Best-effort mapping of a monitor-hit trap to its write site.
+
+    For inlined checks the trap lies just after the checked store; for
+    procedure-call checks the call site is in ``%i7`` of the routine's
+    window.  Scan backwards from there for the nearest site-carrying
+    instruction.
+    """
+    code = cpu.code
+    candidates = [cpu.pc]
+    candidates.append(cpu.regs.read(_I7))
+    for start in candidates:
+        try:
+            index = code.index_of(start & ~3)
+        except Exception:
+            continue
+        for back in range(0, 80):
+            if index - back < 0:
+                break
+            insn = code.insns[index - back]
+            if insn is not None and insn.site is not None and \
+                    insn.tag == "orig":
+                return insn.site
+    return None
+
+
+class Violation:
+    __slots__ = ("site", "func", "addr", "size")
+
+    def __init__(self, site: Optional[int], func: str, addr: int,
+                 size: int):
+        self.site = site
+        self.func = func
+        self.addr = addr
+        self.size = size
+
+    def __repr__(self) -> str:
+        return "<violation: %s wrote 0x%x (%d bytes) at site %s>" % (
+            self.func, self.addr, self.size, self.site)
+
+
+class FaultIsolator:
+    """Enforce an allow-list of functions for writes to a region."""
+
+    def __init__(self, debugger, allowed_functions: List[str]):
+        self.debugger = debugger
+        self.allowed: Set[str] = set(allowed_functions)
+        self.violations: List[Violation] = []
+        self._site_func: Dict[int, str] = {
+            site.site: site.func for site in debugger.session.inst.sites}
+
+    def protect(self, expression: str, func: Optional[str] = None):
+        """Watch *expression* and attribute every write."""
+        return self.debugger.watch(expression, func=func, action="call",
+                                   callback=self._on_write)
+
+    def _on_write(self, watchpoint, addr: int, size: int,
+                  value: int) -> None:
+        cpu = self.debugger.cpu
+        site = attribute_hit(cpu, self.debugger.session.inst)
+        func = self._site_func.get(site, "<unknown>")
+        if func not in self.allowed:
+            self.violations.append(Violation(site, func, addr, size))

@@ -1,0 +1,240 @@
+"""Interactive command-line debugger: ``python -m repro debug FILE.c``.
+
+A small gdb-flavoured command loop over :class:`repro.debugger.Debugger`
+so data breakpoints can be explored by hand:
+
+.. code-block:: text
+
+    (pdb93) watch balance          # data breakpoint, stop on write
+    (pdb93) trace table[3]         # data breakpoint, log only
+    (pdb93) break main             # control breakpoint
+    (pdb93) run                    # run / continue
+    (pdb93) print balance          # read a variable
+    (pdb93) info                   # watchpoints, hits, stats
+    (pdb93) disasm bump            # patched code, checks tagged
+    (pdb93) checkpoint             # snapshot for replay
+    (pdb93) restore                # rewind to the snapshot
+    (pdb93) quit
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Dict, List, Optional
+
+from repro.debugger.debugger import Debugger, DebuggerError
+from repro.isa.instructions import to_signed
+
+
+class DebuggerRepl:
+    """One interactive session; commands are line strings."""
+
+    PROMPT = "(pdb93) "
+
+    def __init__(self, debugger: Debugger,
+                 write: Optional[Callable[[str], None]] = None):
+        self.debugger = debugger
+        self._write = write if write is not None else _stdout_write
+        self._checkpoint = None
+        self._finished = False
+        self._commands: Dict[str, Callable[[List[str]], None]] = {
+            "watch": self._cmd_watch,
+            "trace": self._cmd_trace,
+            "unwatch": self._cmd_unwatch,
+            "break": self._cmd_break,
+            "run": self._cmd_run,
+            "continue": self._cmd_run,
+            "c": self._cmd_run,
+            "step": self._cmd_step,
+            "s": self._cmd_step,
+            "print": self._cmd_print,
+            "p": self._cmd_print,
+            "info": self._cmd_info,
+            "disasm": self._cmd_disasm,
+            "checkpoint": self._cmd_checkpoint,
+            "restore": self._cmd_restore,
+            "help": self._cmd_help,
+        }
+
+    # -- driver -----------------------------------------------------------
+
+    def execute(self, line: str) -> bool:
+        """Run one command; returns False when the session should end."""
+        parts = shlex.split(line)
+        if not parts:
+            return True
+        name, args = parts[0], parts[1:]
+        if name in ("quit", "q", "exit"):
+            return False
+        handler = self._commands.get(name)
+        if handler is None:
+            self._write("unknown command %r (try: help)" % name)
+            return True
+        try:
+            handler(args)
+        except DebuggerError as exc:
+            self._write("error: %s" % exc)
+        return True
+
+    def loop(self, input_fn: Callable[[str], str]) -> None:
+        while True:
+            try:
+                line = input_fn(self.PROMPT)
+            except EOFError:
+                break
+            if not self.execute(line):
+                break
+
+    # -- commands -----------------------------------------------------------
+
+    def _cmd_watch(self, args: List[str]) -> None:
+        self._add_watch(args, action="stop")
+
+    def _cmd_trace(self, args: List[str]) -> None:
+        self._add_watch(args, action="log")
+
+    def _add_watch(self, args: List[str], action: str) -> None:
+        if not args:
+            self._write("usage: watch EXPR [func]")
+            return
+        func = args[1] if len(args) > 1 else None
+        watchpoint = self.debugger.watch(args[0], func=func,
+                                         action=action)
+        self._write("%s #%d on %s (region 0x%08x..0x%08x)"
+                    % ("watchpoint" if action == "stop" else "trace",
+                       self.debugger.watchpoints.index(watchpoint),
+                       args[0], watchpoint.region.start,
+                       watchpoint.region.end))
+
+    def _cmd_unwatch(self, args: List[str]) -> None:
+        if not args:
+            self._write("usage: unwatch NUMBER")
+            return
+        index = int(args[0])
+        if not 0 <= index < len(self.debugger.watchpoints):
+            self._write("no watchpoint #%d" % index)
+            return
+        self.debugger.watchpoints[index].delete()
+        self._write("deleted watchpoint #%d" % index)
+
+    def _cmd_break(self, args: List[str]) -> None:
+        if not args:
+            self._write("usage: break FUNCTION")
+            return
+        breakpoint = self.debugger.break_at(args[0])
+        self._write("breakpoint at %s (0x%08x)"
+                    % (args[0], breakpoint.addr))
+
+    def _cmd_run(self, args: List[str]) -> None:
+        if self._finished:
+            self._write("program has exited (use restore to replay)")
+            return
+        reason = self.debugger.run()
+        output = "".join(self.debugger.output)
+        if output:
+            self._write("program output so far: %s" % output.strip())
+        if reason == "exited":
+            self._finished = True
+            self._write("program exited")
+        elif reason == "watch":
+            watchpoint = self.debugger.stopped_watch
+            self._write("stopped: %s = %s"
+                        % (watchpoint.name, watchpoint.last_value()))
+        else:
+            self._write("stopped: %s" % reason)
+
+    def _cmd_step(self, args: List[str]) -> None:
+        """Execute N instructions (default 1), then show the pc."""
+        if self._finished:
+            self._write("program has exited (use restore to replay)")
+            return
+        count = int(args[0]) if args else 1
+        cpu = self.debugger.cpu
+        if not self.debugger._started:
+            self.debugger._started = True
+            cpu.pc = self.debugger.session.loaded.entry
+            cpu.npc = cpu.pc + 4
+        cpu.running = True
+        for _ in range(count):
+            cpu.step()
+            if not cpu.running:
+                break
+        if not cpu.running and cpu.exit_code is not None:
+            self._finished = True
+            self._write("program exited")
+            return
+        insn = cpu.code.at(cpu.pc)
+        self._write("pc=0x%08x: %s" % (cpu.pc, insn))
+
+    def _cmd_print(self, args: List[str]) -> None:
+        if not args:
+            self._write("usage: print EXPR [func]")
+            return
+        func = args[1] if len(args) > 1 else None
+        _entry, addr, size = self.debugger.resolve(args[0], func)
+        if size == 4:
+            value = to_signed(self.debugger.cpu.mem.read_word(addr))
+            self._write("%s = %d" % (args[0], value))
+        else:
+            words = [to_signed(self.debugger.cpu.mem.read_word(addr + o))
+                     for o in range(0, min(size, 64), 4)]
+            suffix = " ..." if size > 64 else ""
+            self._write("%s = {%s}%s"
+                        % (args[0], ", ".join(map(str, words)), suffix))
+
+    def _cmd_info(self, args: List[str]) -> None:
+        debugger = self.debugger
+        if not debugger.watchpoints and not debugger.breakpoints:
+            self._write("no watchpoints or breakpoints")
+        for index, watchpoint in enumerate(debugger.watchpoints):
+            self._write("#%d %-6s %-16s %d hit(s)"
+                        % (index, watchpoint.action, watchpoint.name,
+                           watchpoint.hit_count()))
+        for breakpoint in debugger.breakpoints.values():
+            self._write("break %-16s %d hit(s)"
+                        % (breakpoint.func_name, breakpoint.hits))
+        cpu = debugger.cpu
+        self._write("pc=0x%08x  %d instructions, %d cycles"
+                    % (cpu.pc, cpu.instructions, cpu.cycles))
+
+    def _cmd_disasm(self, args: List[str]) -> None:
+        if not args:
+            self._write("usage: disasm FUNCTION")
+            return
+        try:
+            self._write(self.debugger.disassemble(args[0]))
+        except KeyError:
+            self._write("no function %r" % args[0])
+
+    def _cmd_checkpoint(self, args: List[str]) -> None:
+        self._checkpoint = self.debugger.checkpoint()
+        self._write("checkpoint taken at pc=0x%08x"
+                    % self.debugger.cpu.pc)
+
+    def _cmd_restore(self, args: List[str]) -> None:
+        if self._checkpoint is None:
+            self._write("no checkpoint (use: checkpoint)")
+            return
+        self.debugger.restore(self._checkpoint)
+        self._finished = False
+        self._write("restored to pc=0x%08x" % self.debugger.cpu.pc)
+
+    def _cmd_help(self, args: List[str]) -> None:
+        self._write("commands: watch trace unwatch break run/continue "
+                    "step print info disasm checkpoint restore quit")
+
+
+def _stdout_write(text: str) -> None:
+    print(text)
+
+
+def run_repl(source: str, lang: str = "C",
+             strategy: str = "BitmapInlineRegisters",
+             optimize: Optional[str] = "full") -> None:
+    """Start an interactive session on mini-C *source*."""
+    debugger = Debugger.for_source(source, lang=lang, strategy=strategy,
+                                   optimize=optimize)
+    repl = DebuggerRepl(debugger)
+    print("Practical Data Breakpoints — interactive debugger "
+          "(type 'help')")
+    repl.loop(input)

@@ -1,0 +1,1 @@
+"""Evaluation harness: one module per table/figure (see DESIGN.md §4)."""

@@ -1,0 +1,109 @@
+"""Overhead measurement: instrumented vs. uninstrumented cycle counts.
+
+The protocol follows §3.3: the monitored region service is attached and
+*enabled* but no monitored regions exist (Table 1 overheads are
+"independent of the number of breakpoints in use"); the "Disabled" row
+runs the same binary with the global disabled flag set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.layout import MonitorLayout
+from repro.instrument.plan import OptimizationPlan
+from repro.machine.costs import CostModel, DEFAULT_COSTS
+from repro.minic.codegen import compile_source
+from repro.session import DebugSession, run_uninstrumented
+from repro.workloads import WORKLOADS, workload_source
+
+
+class RunResult:
+    """Cycle/instruction counts of one simulated run."""
+
+    __slots__ = ("cycles", "instructions", "stores", "tag_cycles",
+                 "tag_counts", "output", "hits", "session")
+
+    def __init__(self, cycles: int, instructions: int, stores: int,
+                 tag_cycles: Dict[str, int], tag_counts: Dict[str, int],
+                 output: List[str], hits: int = 0, session=None):
+        self.cycles = cycles
+        self.instructions = instructions
+        self.stores = stores
+        self.tag_cycles = tag_cycles
+        self.tag_counts = tag_counts
+        self.output = output
+        self.hits = hits
+        self.session = session
+
+
+class WorkloadBench:
+    """One workload, compiled once, runnable under many configurations."""
+
+    def __init__(self, name: str, scale: float = 1.0,
+                 costs: CostModel = DEFAULT_COSTS,
+                 cache_bytes: Optional[int] = None):
+        self.name = name
+        self.spec = WORKLOADS[name]
+        self.scale = scale
+        self.costs = costs
+        from repro.machine.cache import DEFAULT_CACHE_BYTES
+        self.cache_bytes = cache_bytes if cache_bytes is not None \
+            else DEFAULT_CACHE_BYTES
+        self.asm = compile_source(workload_source(name, scale),
+                                  lang=self.spec.lang)
+        self._baseline: Optional[RunResult] = None
+
+    def baseline(self, record_writes: bool = False) -> RunResult:
+        if self._baseline is None or record_writes:
+            code, loaded = run_uninstrumented(
+                self.asm, costs=self.costs, record_writes=record_writes,
+                cache_bytes=self.cache_bytes)
+            if code != 0:
+                raise RuntimeError("%s exited with %d" % (self.name, code))
+            cpu = loaded.cpu
+            result = RunResult(cpu.cycles, cpu.instructions, cpu.stores,
+                               dict(cpu.tag_cycles), dict(cpu.tag_counts),
+                               list(loaded.output), session=loaded)
+            if not record_writes:
+                self._baseline = result
+            return result
+        return self._baseline
+
+    def run_instrumented(self, strategy: str,
+                         enabled: bool = True,
+                         plan: Optional[OptimizationPlan] = None,
+                         layout: Optional[MonitorLayout] = None,
+                         record_writes: bool = False,
+                         regions: Optional[List] = None) -> RunResult:
+        session = DebugSession.from_asm(
+            self.asm, strategy=strategy, plan=plan, layout=layout,
+            costs=self.costs, record_writes=record_writes,
+            cache_bytes=self.cache_bytes)
+        if enabled:
+            session.mrs.enable()
+        for start, size in regions or ():
+            session.mrs.create_region(start, size)
+        code = session.run()
+        if code != 0:
+            raise RuntimeError("%s/%s exited with %d"
+                               % (self.name, strategy, code))
+        base = self.baseline()
+        if session.output != base.output:
+            raise RuntimeError("%s/%s changed program output"
+                               % (self.name, strategy))
+        cpu = session.cpu
+        return RunResult(cpu.cycles, cpu.instructions, cpu.stores,
+                         dict(cpu.tag_cycles), dict(cpu.tag_counts),
+                         list(session.output),
+                         hits=session.mrs.hit_count(), session=session)
+
+    def overhead(self, strategy: str, **kwargs) -> float:
+        """Percent overhead of *strategy* relative to the baseline."""
+        instrumented = self.run_instrumented(strategy, **kwargs)
+        base = self.baseline()
+        return 100.0 * (instrumented.cycles / base.cycles - 1.0)
+
+
+def average(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

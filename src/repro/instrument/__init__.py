@@ -1,0 +1,1 @@
+"""Write-check insertion: the analysis/patching tool of §2.1/§3."""

@@ -1,0 +1,242 @@
+"""Write-check code generators — the §3 implementation variants.
+
+Each strategy generates, for one write site, the check code inserted
+*after* the store (§2.1: checks go after the write so a wild jump onto
+the store itself still gets checked).  All variants share the same
+shape:
+
+.. code-block:: asm
+
+    st  %o0, [%fp-20]        ! the write instruction (site s)
+    tst %g2                  ! global disabled flag
+    bne .Lmrs_skip_s         ! branch around the check when disabled
+    nop
+    add %fp, -20, %g4        ! target address into the reserved register
+    <strategy body>
+  .Lmrs_skip_s:
+
+Strategy bodies:
+
+* ``Bitmap``               — ``call __mrs_check_w4`` (window push, §3);
+* ``BitmapInline``         — full segmented-bitmap lookup inlined, with
+  three scratch registers spilled below ``%sp`` (no reserved scratch);
+* ``BitmapInlineRegisters`` — inlined lookup using reserved registers
+  (``%g5`` = table base, ``%g6``/``%g7``/``%m0`` scratch): no spills,
+  no address-constant recalculation;
+* ``Cache``                — the four-instruction segment-cache check
+  inlined; a procedure call on cache miss (§3.1);
+* ``CacheInline``          — segment-cache check and miss path fully
+  inlined (scratch: ``%g6``/``%g7``/``%g3``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.asm.ast import Mem
+from repro.core.layout import MonitorLayout
+from repro.core.runtime_asm import (TRAP_MONITOR_HIT, library_source,
+                                    size_code)
+from repro.instrument.writes import WriteSite
+from repro.isa.registers import register_name
+
+
+def address_computation(mem: Mem, dest: str = "%g4") -> str:
+    """One instruction moving the store's effective address into *dest*."""
+    base = register_name(mem.base)
+    if mem.index is not None:
+        return "add %s, %s, %s" % (base, register_name(mem.index), dest)
+    if mem.disp:
+        return "add %s, %d, %s" % (base, mem.disp, dest)
+    return "mov %s, %s" % (base, dest)
+
+
+class CheckStrategy:
+    """Base class: builds per-site check code and the needed library."""
+
+    name = "?"
+    #: does the library need the per-write-type cache-miss handlers?
+    needs_cache_lib = False
+    #: does the strategy rely on host-initialized reserved registers?
+    uses_reserved_base = False
+
+    def __init__(self, layout: MonitorLayout = None,
+                 monitor_reads: bool = False):
+        self.layout = layout if layout is not None else MonitorLayout()
+        self.monitor_reads = monitor_reads
+
+    # -- public interface ---------------------------------------------------
+
+    def site_check(self, site: WriteSite, is_read: bool = False
+                   ) -> List[str]:
+        """Assembly lines of the full check for *site*."""
+        skip = ".Lmrs_skip_%d%s" % (site.site, "r" if is_read else "")
+        lines = [
+            "tst %g2",
+            "bne %s" % skip,
+            "nop",
+            address_computation(site.stmt.ops[1 if not is_read else 0]),
+        ]
+        lines += self.body(site, skip, is_read)
+        lines.append("%s:" % skip)
+        return lines
+
+    def library(self) -> str:
+        return library_source(self.layout, with_cache=self.needs_cache_lib,
+                              with_reads=self.monitor_reads)
+
+    def body(self, site: WriteSite, skip: str, is_read: bool) -> List[str]:
+        raise NotImplementedError
+
+    # -- shared pieces ---------------------------------------------------------
+
+    def _inline_full_lookup(self, seg_ptr: str, scratch_a: str,
+                            scratch_b: str, done: str, width: int,
+                            is_read: bool) -> List[str]:
+        mask = self.layout.segment_words - 1
+        bit_mask = 3 if width == 8 else 1  # aligned std: adjacent bits
+        return [
+            "srl %%g4, 2, %s" % scratch_a,
+            "and %s, %d, %s" % (scratch_a, mask, scratch_a),
+            "srl %s, 5, %s" % (scratch_a, scratch_b),
+            "sll %s, 2, %s" % (scratch_b, scratch_b),
+            "ld [%s+%s], %s" % (seg_ptr, scratch_b, scratch_b),
+            "and %s, 31, %s" % (scratch_a, scratch_a),
+            "srl %s, %s, %s" % (scratch_b, scratch_a, scratch_b),
+            "andcc %s, %d, %%g0" % (scratch_b, bit_mask),
+            "be %s" % done,
+            "nop",
+            "mov %d, %%g6" % size_code(width, is_read),
+            "ta 0x%x" % TRAP_MONITOR_HIT,
+        ]
+
+
+class BitmapStrategy(CheckStrategy):
+    """Address lookup executed via procedure call (Table 1 "Bitmap")."""
+
+    name = "Bitmap"
+
+    def body(self, site: WriteSite, skip: str, is_read: bool) -> List[str]:
+        kind = "r" if is_read else "w"
+        return ["call __mrs_check_%s%d" % (kind, site.width), "nop"]
+
+
+class BitmapInlineStrategy(CheckStrategy):
+    """Inlined bitmap lookup without reserved scratch registers.
+
+    Three program registers are spilled to the unused area below ``%sp``
+    and reloaded afterwards — the cost the paper attributes to inlining
+    without reserved registers.
+    """
+
+    name = "BitmapInline"
+
+    def body(self, site: WriteSite, skip: str, is_read: bool) -> List[str]:
+        s = site.site
+        restore = ".Lmrs_res_%d%s" % (s, "r" if is_read else "")
+        lines = [
+            "st %l5, [%sp-4]",
+            "st %l6, [%sp-8]",
+            "st %l7, [%sp-12]",
+            "set %d, %%l5" % self.layout.seg_table_base,
+            "srl %%g4, %d, %%l6" % self.layout.seg_shift,
+            "sll %l6, 2, %l6",
+            "ld [%l5+%l6], %l7",
+            "tst %l7",
+            "be %s" % restore,
+            "nop",
+        ]
+        lines += self._inline_full_lookup("%l7", "%l5", "%l6", restore,
+                                          site.width, is_read)
+        lines += [
+            "%s:" % restore,
+            "ld [%sp-4], %l5",
+            "ld [%sp-8], %l6",
+            "ld [%sp-12], %l7",
+        ]
+        return lines
+
+
+class BitmapInlineRegistersStrategy(CheckStrategy):
+    """Inlined lookup with reserved registers (Table 1's winner, §5)."""
+
+    name = "BitmapInlineRegisters"
+    uses_reserved_base = True
+
+    def body(self, site: WriteSite, skip: str, is_read: bool) -> List[str]:
+        lines = [
+            "srl %%g4, %d, %%g6" % self.layout.seg_shift,
+            "sll %g6, 2, %g6",
+            "ld [%g5+%g6], %g7",
+            "tst %g7",
+            "be %s" % skip,
+            "nop",
+        ]
+        lines += self._inline_full_lookup("%g7", "%g6", "%m0", skip,
+                                          site.width, is_read)
+        return lines
+
+
+class CacheStrategy(CheckStrategy):
+    """Per-write-type segment caching; procedure call on cache miss."""
+
+    name = "Cache"
+    needs_cache_lib = True
+    uses_reserved_base = True
+
+    def body(self, site: WriteSite, skip: str, is_read: bool) -> List[str]:
+        kind = "r" if is_read else "w"
+        return [
+            "srl %%g4, %d, %%g6" % self.layout.seg_shift,
+            "cmp %%g6, %%m%d" % site.write_type,
+            "be %s" % skip,
+            "nop",
+            "call __mrs_miss_%d_%s%d" % (site.write_type, kind, site.width),
+            "nop",
+        ]
+
+
+class CacheInlineStrategy(CheckStrategy):
+    """Segment caching with the miss path inlined as well."""
+
+    name = "CacheInline"
+    uses_reserved_base = True
+
+    def body(self, site: WriteSite, skip: str, is_read: bool) -> List[str]:
+        s = site.site
+        suffix = "r" if is_read else ""
+        full = ".Lmrs_full_%d%s" % (s, suffix)
+        cache_reg = "%%m%d" % site.write_type
+        lines = [
+            "srl %%g4, %d, %%g6" % self.layout.seg_shift,
+            "cmp %%g6, %s" % cache_reg,
+            "be %s" % skip,
+            "nop",
+            "sll %g6, 2, %g7",
+            "ld [%g5+%g7], %g7",
+            "tst %g7",
+            "bne %s" % full,
+            "nop",
+            "mov %%g6, %s" % cache_reg,
+            "ba %s" % skip,
+            "nop",
+            "%s:" % full,
+        ]
+        lines += self._inline_full_lookup("%g7", "%g6", "%g3", skip,
+                                          site.width, is_read)
+        return lines
+
+
+STRATEGIES: Dict[str, Type[CheckStrategy]] = {
+    cls.name: cls for cls in (BitmapStrategy, BitmapInlineStrategy,
+                              BitmapInlineRegistersStrategy, CacheStrategy,
+                              CacheInlineStrategy)
+}
+
+
+def make_strategy(name: str, layout: MonitorLayout = None,
+                  monitor_reads: bool = False) -> CheckStrategy:
+    if name not in STRATEGIES:
+        raise ValueError("unknown strategy %r (have %s)"
+                         % (name, sorted(STRATEGIES)))
+    return STRATEGIES[name](layout, monitor_reads)

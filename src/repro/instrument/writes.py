@@ -1,0 +1,181 @@
+"""Write-site discovery and write-type classification.
+
+A *write site* is one store instruction in the program text.  Sites are
+numbered in statement order, and the numbering is shared between the
+optimizer (which decides which checks to eliminate) and the rewriter
+(which inserts the remaining checks), so both scan with the same
+function.
+
+Write types (§3.1) group writes by expected spatial locality so that
+each group gets its own segment-cache register:
+
+* ``STACK``  — target address computed from ``%fp`` or ``%sp``;
+* ``BSS``    — constant target address (a ``set symbol`` base with a
+  constant displacement);
+* ``BSS-VAR`` — the FORTRAN idiom: a ``set symbol`` base indexed by a
+  register (recognized only for ``lang="F"`` programs, like the paper's
+  special-casing of the Sun FORTRAN compiler);
+* ``HEAP``   — everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.asm.ast import (AsmInsn, CC_MNEMONICS, Label, Mem, Reg,
+                           Statement, STORE_MNEMONICS, STORE_WIDTHS, Sym)
+from repro.core.runtime_asm import (WRITE_TYPE_BSS, WRITE_TYPE_BSS_VAR,
+                                    WRITE_TYPE_HEAP, WRITE_TYPE_STACK)
+from repro.isa.registers import FP, REGISTER_IDS, SP
+
+
+class InstrumentError(Exception):
+    """Raised when a program cannot be instrumented safely."""
+
+
+class WriteSite(NamedTuple):
+    site: int            # site id (index into the site list)
+    index: int           # statement index in the program statement list
+    stmt: AsmInsn        # the store statement itself
+    width: int           # access width in bytes
+    func: str            # enclosing function name
+    write_type: int      # WRITE_TYPE_* constant
+
+
+_RESERVED_REGS = {REGISTER_IDS[name] for name in
+                  ("%g2", "%g3", "%g4", "%g5", "%g6", "%g7",
+                   "%m0", "%m1", "%m2", "%m3")}
+
+
+def enumerate_write_sites(statements: List[Statement],
+                          lang: str = "C") -> List[WriteSite]:
+    """Number all store instructions and classify their write types.
+
+    Also stamps ``stmt.site`` on each store statement so the assembler
+    propagates site ids onto decoded instructions.
+    """
+    sites: List[WriteSite] = []
+    func = ""
+    # tracks, per register id, whether its current value is a "set symbol"
+    # base (reset at labels and control transfers)
+    set_base: Dict[int, bool] = {}
+    prev_insn: Optional[AsmInsn] = None
+
+    for index, stmt in enumerate(statements):
+        if isinstance(stmt, Label):
+            set_base.clear()
+            prev_insn = None
+            continue
+        if not isinstance(stmt, AsmInsn):
+            if getattr(stmt, "name", "") == "proc":
+                func = _proc_name(stmt)
+            continue
+        if stmt.mnemonic in STORE_MNEMONICS and stmt.tag == "orig":
+            if prev_insn is not None and prev_insn.is_dcti():
+                raise InstrumentError(
+                    "store in a branch delay slot at line %d cannot be "
+                    "checked (compile without delay-slot scheduling)"
+                    % stmt.line_no)
+            _reject_reserved(stmt)
+            write_type = _classify(stmt, set_base, lang)
+            site = len(sites)
+            stmt.site = site
+            sites.append(WriteSite(site, index, stmt,
+                                   STORE_WIDTHS[stmt.mnemonic], func,
+                                   write_type))
+        _track_defs(stmt, set_base)
+        if stmt.is_dcti():
+            set_base.clear()
+        prev_insn = stmt
+    return sites
+
+
+def _proc_name(stmt) -> str:
+    arg = stmt.args[0]
+    return arg.name if isinstance(arg, Sym) else str(arg)
+
+
+def _reject_reserved(stmt: AsmInsn) -> None:
+    mem = stmt.ops[1]
+    used = {mem.base}
+    if mem.index is not None:
+        used.add(mem.index)
+    if isinstance(stmt.ops[0], Reg):
+        used.add(stmt.ops[0].rid)
+    reserved = used & _RESERVED_REGS
+    if reserved:
+        raise InstrumentError(
+            "store at line %d uses MRS-reserved register(s) %s"
+            % (stmt.line_no, sorted(reserved)))
+
+
+def _track_defs(stmt: AsmInsn, set_base: Dict[int, bool]) -> None:
+    """Track which registers currently hold a ``set symbol`` base."""
+    mnemonic = stmt.mnemonic
+    if mnemonic == "sethi":
+        value, rd = stmt.ops
+        set_base[rd.rid] = isinstance(value, Sym)
+        return
+    if mnemonic == "or" and len(stmt.ops) == 3:
+        rs1, op2, rd = stmt.ops
+        if isinstance(rs1, Reg) and isinstance(op2, Sym) and \
+                op2.part == "lo" and set_base.get(rs1.rid):
+            set_base[rd.rid] = True
+            return
+    # any other definition invalidates the base property
+    rd = _dest_reg(stmt)
+    if rd is not None:
+        set_base[rd] = False
+
+
+def _dest_reg(stmt: AsmInsn) -> Optional[int]:
+    mnemonic = stmt.mnemonic
+    if mnemonic in STORE_MNEMONICS or stmt.is_branch() or \
+            mnemonic in ("ta", "nop"):
+        return None
+    if mnemonic in ("call",):
+        return REGISTER_IDS["%o7"]
+    if stmt.ops and isinstance(stmt.ops[-1], Reg):
+        return stmt.ops[-1].rid
+    return None
+
+
+def _classify(stmt: AsmInsn, set_base: Dict[int, bool], lang: str) -> int:
+    mem: Mem = stmt.ops[1]
+    if mem.base in (FP, SP):
+        return WRITE_TYPE_STACK
+    if set_base.get(mem.base):
+        if mem.index is None:
+            return WRITE_TYPE_BSS
+        if lang == "F":
+            return WRITE_TYPE_BSS_VAR
+    return WRITE_TYPE_HEAP
+
+
+def check_cc_liveness(statements: List[Statement]) -> None:
+    """Verify condition codes are never live across a store (§3 caveat).
+
+    Inserted check code clobbers the condition codes, so a store must
+    not sit between a cc-setting instruction and the branch that reads
+    it.  The naive compiler guarantees this; this pass verifies it for
+    hand-written assembly too.
+    """
+    pending_store: Optional[AsmInsn] = None
+    for stmt in statements:
+        if isinstance(stmt, Label):
+            continue
+        if not isinstance(stmt, AsmInsn):
+            continue
+        if stmt.mnemonic in STORE_MNEMONICS and stmt.tag == "orig":
+            pending_store = stmt
+            continue
+        if stmt.mnemonic in CC_MNEMONICS:
+            pending_store = None
+        elif stmt.is_branch() and stmt.mnemonic not in ("ba", "bn"):
+            if pending_store is not None:
+                raise InstrumentError(
+                    "condition codes live across the store at line %d "
+                    "(branch at line %d reads them)"
+                    % (pending_store.line_no, stmt.line_no))
+        elif stmt.is_dcti():
+            pending_store = None

@@ -1,0 +1,1 @@
+"""Analysis IR: 3-address codes, CFG, dominators, SSA, loops (§4.1)."""

@@ -1,0 +1,574 @@
+"""Assembly statements -> per-function IR with basic blocks (§4.1).
+
+Also performs the recognition half of symbol-table pattern matching
+(§4.2) while translating: every load/store is matched against the
+static symbol table, address-escape information is collected, and —
+after all functions are scanned — exactly-matched scalar accesses are
+rewritten into IR ``move`` ops on *pseudo-operands*, which is what lets
+SSA see memory-resident induction variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.asm.ast import (AsmInsn, Directive, Imm, Label, Mem, Reg,
+                           Statement, Sym)
+from repro.instrument.writes import InstrumentError
+from repro.ir.tac import Const, IrOp, SymAddr, VarName
+from repro.isa.registers import FP, REGISTER_IDS, SP
+from repro.optimizer.symbols import StaticSym, StaticSymbols
+
+CC: VarName = ("cc",)
+_G0 = 0
+_O_REGS = [("r", REGISTER_IDS["%%o%d" % i]) for i in range(8)]
+_G1 = ("r", REGISTER_IDS["%g1"])
+
+_RELATIONS = {"e": "eq", "ne": "ne", "l": "lt", "le": "le", "g": "gt",
+              "ge": "ge"}
+_NEGATED = {"eq": "ne", "ne": "eq", "lt": "ge", "le": "gt", "gt": "le",
+            "ge": "lt"}
+
+
+class Block:
+    __slots__ = ("bid", "labels", "ops", "phis", "succs", "preds",
+                 "header_stmt_index", "idom", "dom_children", "df", "rpo")
+
+    def __init__(self, bid: int):
+        self.bid = bid
+        self.labels: List[str] = []
+        self.ops: List[IrOp] = []
+        self.phis: List[IrOp] = []
+        self.succs: List["Block"] = []
+        self.preds: List["Block"] = []
+        #: statement index where pre-header code may be inserted (the
+        #: first label of the block), or -1
+        self.header_stmt_index = -1
+        self.idom: Optional["Block"] = None
+        self.dom_children: List["Block"] = []
+        self.df: List["Block"] = []
+        self.rpo = -1
+
+    def all_ops(self) -> List[IrOp]:
+        return self.phis + self.ops
+
+    def __repr__(self) -> str:
+        return "B%d%s" % (self.bid, self.labels[:1] or "")
+
+
+class MemAccess:
+    """Match record for one load/store op."""
+
+    __slots__ = ("op", "stmt", "kind", "func", "covering", "exact",
+                 "pseudo_key")
+
+    def __init__(self, op: IrOp, stmt: AsmInsn, kind: str, func: str):
+        self.op = op
+        self.stmt = stmt
+        self.kind = kind          # "ld" | "st"
+        self.func = func
+        self.covering: List[StaticSym] = []
+        self.exact: Optional[StaticSym] = None
+        self.pseudo_key: Optional[Tuple] = None
+
+
+class FuncIr:
+    def __init__(self, name: str, start_index: int, end_index: int):
+        self.name = name
+        self.start_index = start_index
+        self.end_index = end_index
+        self.blocks: List[Block] = []
+        self.entry: Optional[Block] = None
+        self.accesses: List[MemAccess] = []
+        #: offsets of locals whose address escapes in this function
+        self.escaped_local_offsets: Set[Tuple[int, int]] = set()
+        #: all frame-relative access failed to resolve (e.g. [%fp+%reg])
+        self.frame_unanalyzable = False
+        #: statement index of the prologue save (for %fp shadow pushes)
+        self.save_stmt_index = -1
+        #: statement indices of returns (jmpl), for %fp/jump checks
+        self.ret_stmt_indices: List[int] = []
+
+    def reachable_blocks(self) -> List[Block]:
+        return [b for b in self.blocks if b is self.entry or b.preds]
+
+
+class IrBuilder:
+    """See :func:`build_ir`."""
+
+    def __init__(self, statements: List[Statement],
+                 symbols: StaticSymbols):
+        self.statements = statements
+        self.symbols = symbols
+        #: data labels whose address value escapes into arithmetic/calls
+        self.escaped_labels: Set[str] = set()
+        self.funcs: List[FuncIr] = []
+
+    # -- program level -----------------------------------------------------------
+
+    def build(self) -> List["FuncIr"]:
+        for name, start, end in self._function_ranges():
+            self.funcs.append(self._build_function(name, start, end))
+        return self.funcs
+
+    def _function_ranges(self) -> List[Tuple[str, int, int]]:
+        ranges = []
+        current: Optional[Tuple[str, int]] = None
+        for index, stmt in enumerate(self.statements):
+            if isinstance(stmt, Directive):
+                if stmt.name == "proc":
+                    arg = stmt.args[0]
+                    name = arg.name if isinstance(arg, Sym) else str(arg)
+                    current = (name, index)
+                elif stmt.name == "endproc" and current is not None:
+                    ranges.append((current[0], current[1], index))
+                    current = None
+        return ranges
+
+    # -- function level -------------------------------------------------------------
+
+    def _build_function(self, name: str, start: int, end: int) -> FuncIr:
+        func = FuncIr(name, start, end)
+        stmts = self.statements
+        # collect instruction indices and label positions
+        instrs: List[int] = []
+        label_at: Dict[str, int] = {}  # label -> position in instrs
+        pending_labels: List[Tuple[str, int]] = []
+        for index in range(start, end):
+            stmt = stmts[index]
+            if isinstance(stmt, Label):
+                pending_labels.append((stmt.name, index))
+            elif isinstance(stmt, AsmInsn) and stmt.tag == "orig":
+                for lname, _lidx in pending_labels:
+                    label_at[lname] = len(instrs)
+                instrs.append(index)
+                pending_labels = pending_labels and []
+        if not instrs:
+            return func
+
+        # leaders
+        leaders: Set[int] = {0}
+        for pos in label_at.values():
+            leaders.add(pos)
+        pos = 0
+        while pos < len(instrs):
+            stmt = stmts[instrs[pos]]
+            if isinstance(stmt, AsmInsn) and stmt.is_dcti():
+                if pos + 1 >= len(instrs):
+                    raise InstrumentError(
+                        "dcti without delay slot in %s" % name)
+                slot = stmts[instrs[pos + 1]]
+                if isinstance(slot, AsmInsn) and slot.is_dcti():
+                    raise InstrumentError(
+                        "dcti couple at line %d unsupported" % slot.line_no)
+                if pos + 2 < len(instrs):
+                    leaders.add(pos + 2)
+                pos += 2
+            else:
+                pos += 1
+
+        # build blocks
+        blocks: Dict[int, Block] = {}
+        order = sorted(leaders)
+        for bid, leader in enumerate(order):
+            block = Block(bid)
+            blocks[leader] = block
+            func.blocks.append(block)
+        # attach label names + header statement index
+        for lname, pos2 in label_at.items():
+            block = blocks.get(pos2)
+            if block is not None:
+                block.labels.append(lname)
+        for leader, block in blocks.items():
+            # header stmt index: position of the first label before the
+            # leading instruction, else the instruction itself
+            stmt_index = instrs[leader]
+            scan = stmt_index - 1
+            first = stmt_index
+            while scan >= start and isinstance(stmts[scan], Label):
+                first = scan
+                scan -= 1
+            block.header_stmt_index = first
+
+        func.entry = blocks[0]
+
+        # translate and wire edges
+        boundaries = order + [len(instrs)]
+        for which, leader in enumerate(order):
+            block = blocks[leader]
+            limit = boundaries[which + 1]
+            self._translate_block(func, block, instrs, leader, limit,
+                                  label_at, blocks, boundaries, which)
+
+        for block in func.blocks:
+            for succ in block.succs:
+                succ.preds.append(block)
+        return func
+
+    # -- block translation ---------------------------------------------------------
+
+    def _translate_block(self, func: FuncIr, block: Block,
+                         instrs: List[int], leader: int, limit: int,
+                         label_at: Dict[str, int],
+                         blocks: Dict[int, Block],
+                         boundaries: List[int], which: int) -> None:
+        stmts = self.statements
+        #: registers currently holding a data-symbol address
+        sym_in_reg: Dict[int, SymAddr] = {}
+        pos = leader
+        terminated = False
+        while pos < limit:
+            stmt = stmts[instrs[pos]]
+            assert isinstance(stmt, AsmInsn)
+            if stmt.is_dcti():
+                # translate the delay slot first (it executes first)
+                if pos + 1 < limit:
+                    slot = stmts[instrs[pos + 1]]
+                    self._translate_insn(func, block, slot,
+                                         instrs[pos + 1], sym_in_reg)
+                self._translate_control(func, block, stmt, instrs[pos],
+                                        label_at, blocks, boundaries,
+                                        which, sym_in_reg)
+                terminated = True
+                pos += 2
+            else:
+                self._translate_insn(func, block, stmt, instrs[pos],
+                                     sym_in_reg)
+                pos += 1
+        if not terminated and which + 1 < len(boundaries) - 1:
+            nxt = blocks[boundaries[which + 1]]
+            block.succs.append(nxt)
+
+    def _value(self, operand, sym_in_reg: Dict[int, SymAddr]):
+        if isinstance(operand, Reg):
+            if operand.rid == _G0:
+                return Const(0)
+            return ("r", operand.rid)
+        if isinstance(operand, Imm):
+            return Const(operand.value)
+        if isinstance(operand, Sym):
+            # %lo(sym) in an or — combined with sethi below
+            return operand
+        raise InstrumentError("bad IR operand %r" % (operand,))
+
+
+    def _escape_if_boundary(self, rid: int, sym: Optional[SymAddr]) -> None:
+        """A symbol address reaching an argument/return register (or any
+        out/in register) escapes the analysis: the callee or caller may
+        alias the variable through it."""
+        if sym is None or sym.name.startswith("\x00"):
+            return
+        if 8 <= rid < 16 or 24 <= rid < 32:
+            self.escaped_labels.add(sym.name)
+
+    def _translate_insn(self, func: FuncIr, block: Block, stmt: AsmInsn,
+                        stmt_index: int,
+                        sym_in_reg: Dict[int, SymAddr]) -> None:
+        m = stmt.mnemonic
+        ops = stmt.ops
+
+        def emit(op: IrOp) -> IrOp:
+            op.block = block
+            block.ops.append(op)
+            return op
+
+        def define(rid: int, value_sym: Optional[SymAddr]) -> None:
+            if value_sym is not None:
+                sym_in_reg[rid] = value_sym
+            else:
+                sym_in_reg.pop(rid, None)
+
+        if m == "nop":
+            return
+        if m == "sethi":
+            value, rd = ops
+            if isinstance(value, Sym):
+                # start of a `set label, rd` pair
+                emit(IrOp("move", [("r", rd.rid)],
+                          [SymAddr(value.name, value.addend)],
+                          stmt_index, op="sethi_hi"))
+                define(rd.rid, None)  # completed only by the or
+                sym_in_reg[rd.rid] = SymAddr("\x00partial:" + value.name,
+                                             value.addend)
+            else:
+                emit(IrOp("move", [("r", rd.rid)],
+                          [Const((value.value << 10) & 0xFFFFFFFF)],
+                          stmt_index))
+                define(rd.rid, None)
+            return
+        if m in ("add", "addcc", "sub", "subcc", "and", "andcc", "andn",
+                 "andncc", "or", "orcc", "xor", "xorcc", "sll", "srl",
+                 "sra", "smul", "sdiv"):
+            set_cc = m.endswith("cc") and m not in ()
+            base_op = m[:-2] if set_cc else m
+            rs1, op2, rd = ops
+            rd_rid = rd.rid
+
+            # recognize `or rX, %lo(sym), rX` completing a set
+            if base_op == "or" and isinstance(op2, Sym) and \
+                    op2.part == "lo":
+                held = sym_in_reg.get(rs1.rid)
+                full = SymAddr(op2.name, op2.addend)
+                if held is not None and \
+                        held.name == "\x00partial:" + op2.name:
+                    op = emit(IrOp("move", [("r", rd_rid)], [full],
+                                   stmt_index, op="set"))
+                    define(rd_rid, full)
+                    self._escape_if_boundary(rd_rid, full)
+                    if set_cc:
+                        op.defs.append(CC)
+                    return
+                op2_val = full  # unusual; treat as opaque symbol value
+            else:
+                op2_val = self._value(op2, sym_in_reg)
+
+            rs1_val = self._value(rs1, sym_in_reg)
+            # mov: or %g0, x, rd
+            if base_op == "or" and rs1.rid == _G0 and not set_cc:
+                emit(IrOp("move", [("r", rd_rid)], [op2_val], stmt_index))
+                src_sym = sym_in_reg.get(op2.rid) \
+                    if isinstance(op2, Reg) else (
+                        op2_val if isinstance(op2_val, SymAddr) else None)
+                define(rd_rid, src_sym)
+                self._escape_if_boundary(rd_rid, src_sym)
+                return
+            defs = [] if rd_rid == _G0 else [("r", rd_rid)]
+            if set_cc:
+                defs = defs + [CC]
+            op = emit(IrOp("alu", defs, [rs1_val, op2_val], stmt_index,
+                           op=base_op))
+            if set_cc:
+                op.relation = "cmp" if rd_rid == _G0 and base_op == "sub" \
+                    else ""
+            # escape analysis: symbol address flowing into arithmetic
+            for source in (rs1, op2):
+                if isinstance(source, Reg) and source.rid in sym_in_reg:
+                    held = sym_in_reg[source.rid]
+                    if not held.name.startswith("\x00"):
+                        self.escaped_labels.add(held.name)
+            # address-of a local: add %fp, imm, rd
+            if base_op == "add" and rs1.rid == FP and \
+                    isinstance(op2, Imm) and rd_rid != _G0:
+                for entry in self.symbols.locals.get(func.name, ()):
+                    if entry.offset <= op2.value < \
+                            entry.offset + entry.size:
+                        func.escaped_local_offsets.add(
+                            (entry.offset, entry.size))
+            if rd_rid != _G0:
+                # address arithmetic on a symbol base keeps it opaque
+                define(rd_rid, None)
+            return
+        if m in ("ld", "ldub", "ldsb", "ldd"):
+            mem, rd = ops
+            self._translate_mem(func, block, stmt, stmt_index, "ld", mem,
+                                ("r", rd.rid), sym_in_reg)
+            define(rd.rid, None)
+            return
+        if m in ("st", "stb", "std"):
+            rd, mem = ops
+            self._translate_mem(func, block, stmt, stmt_index, "st", mem,
+                                ("r", rd.rid), sym_in_reg)
+            return
+        if m == "save":
+            func.save_stmt_index = stmt_index \
+                if func.save_stmt_index < 0 else func.save_stmt_index
+            emit(IrOp("save", [("r", SP), ("r", FP)],
+                      [("r", SP)], stmt_index))
+            sym_in_reg.clear()
+            return
+        if m == "restore":
+            emit(IrOp("restore", [("r", SP), ("r", FP)], [], stmt_index))
+            sym_in_reg.clear()
+            return
+        if m == "ta":
+            emit(IrOp("trap", [_O_REGS[0]], [_O_REGS[0]], stmt_index))
+            sym_in_reg.pop(_O_REGS[0][1], None)
+            return
+        raise InstrumentError("cannot translate %r to IR" % (stmt,))
+
+    def _translate_mem(self, func: FuncIr, block: Block, stmt: AsmInsn,
+                       stmt_index: int, kind: str, mem: Mem,
+                       data_var: VarName,
+                       sym_in_reg: Dict[int, SymAddr]) -> None:
+        access = MemAccess(None, stmt, kind, func.name)
+        width = 8 if stmt.mnemonic in ("ldd", "std") else \
+            (1 if stmt.mnemonic in ("ldub", "ldsb", "stb") else 4)
+
+        base_sym = sym_in_reg.get(mem.base)
+        if base_sym is not None and base_sym.name.startswith("\x00"):
+            base_sym = None
+        if mem.base == FP and mem.index is None:
+            access.covering = self.symbols.locals_covering(
+                func.name, mem.disp, width)
+            exact = self.symbols.exact_local_scalar(func.name, mem.disp)
+            if exact is not None and width == 4:
+                access.exact = exact
+                access.pseudo_key = ("v", func.name, mem.disp)
+        elif mem.base in (FP, SP) and mem.index is not None:
+            func.frame_unanalyzable = True
+        elif base_sym is not None and mem.index is None:
+            offset = base_sym.addend + mem.disp
+            access.covering = self.symbols.globals_covering(
+                base_sym.name, offset, width)
+            exact = self.symbols.exact_global_scalar(base_sym.name, offset)
+            if exact is not None and width == 4:
+                access.exact = exact
+                access.pseudo_key = ("v", base_sym.name, offset)
+
+        base_val = self._value(Reg(mem.base), sym_in_reg)
+        if isinstance(base_val, tuple) and base_sym is not None:
+            base_val_for_mem = base_sym
+        else:
+            base_val_for_mem = base_val
+        index_val = self._value(Reg(mem.index), sym_in_reg) \
+            if mem.index is not None else None
+
+        uses = [base_val]
+        if index_val is not None:
+            uses.append(index_val)
+        if kind == "st":
+            # storing a register that holds a symbol's address publishes
+            # a pointer to that symbol: it escapes
+            stored_sym = sym_in_reg.get(data_var[1]) \
+                if isinstance(data_var, tuple) else None
+            if stored_sym is not None and \
+                    not stored_sym.name.startswith("\x00"):
+                self.escaped_labels.add(stored_sym.name)
+        if kind == "st":
+            uses.append(data_var)
+            op = IrOp("st", [], uses, stmt_index, site=stmt.site,
+                      mem=(base_val_for_mem, index_val, mem.disp),
+                      width=width)
+        else:
+            op = IrOp("ld", [data_var], uses, stmt_index,
+                      mem=(base_val_for_mem, index_val, mem.disp),
+                      width=width)
+        op.block = block
+        block.ops.append(op)
+        access.op = op
+        func.accesses.append(access)
+
+    def _translate_control(self, func: FuncIr, block: Block,
+                           stmt: AsmInsn, stmt_index: int,
+                           label_at: Dict[str, int],
+                           blocks: Dict[int, Block],
+                           boundaries: List[int], which: int,
+                           sym_in_reg: Dict[int, SymAddr]) -> None:
+        m = stmt.mnemonic
+
+        def emit(op: IrOp) -> IrOp:
+            op.block = block
+            block.ops.append(op)
+            return op
+
+        def fallthrough() -> Optional[Block]:
+            if which + 1 < len(boundaries) - 1:
+                return blocks[boundaries[which + 1]]
+            return None
+
+        if m == "call":
+            defs = list(_O_REGS) + [_G1, CC]
+            defs += [key for key in self._promoted_global_keys]
+            emit(IrOp("call", defs, list(_O_REGS[:6]), stmt_index))
+            sym_in_reg.clear()
+            nxt = fallthrough()
+            if nxt is not None:
+                block.succs.append(nxt)
+            return
+        if m == "jmpl":
+            func.ret_stmt_indices.append(stmt_index)
+            emit(IrOp("ret", [], [], stmt_index))
+            return
+        if m in ("ba",):
+            target = stmt.ops[0]
+            tpos = label_at.get(target.name)
+            emit(IrOp("jump", [], [], stmt_index))
+            if tpos is not None:
+                block.succs.append(blocks[tpos])
+            return
+        if stmt.is_branch():
+            target = stmt.ops[0]
+            tpos = label_at.get(target.name)
+            relation = _RELATIONS.get(m[1:], "")
+            emit(IrOp("branch", [], [CC], stmt_index,
+                      relation=relation))
+            # successor order: [taken, fallthrough]
+            if tpos is not None:
+                block.succs.append(blocks[tpos])
+            nxt = fallthrough()
+            if nxt is not None:
+                block.succs.append(nxt)
+            return
+        raise InstrumentError("unknown control transfer %r" % (stmt,))
+
+    # filled in by apply_promotion before calls are translated on the
+    # second pass; empty during the first pass
+    _promoted_global_keys: List[Tuple] = []
+
+
+def negate_relation(relation: str) -> str:
+    return _NEGATED[relation]
+
+
+def build_ir(statements: List[Statement],
+             symbols: StaticSymbols) -> Tuple[List[FuncIr], Set[str]]:
+    """Build IR for every function; returns (functions, escaped labels)."""
+    builder = IrBuilder(statements, symbols)
+    funcs = builder.build()
+    return funcs, builder.escaped_labels
+
+
+def apply_promotion(funcs: List[FuncIr], escaped_labels: Set[str]
+                    ) -> Dict[Tuple, StaticSym]:
+    """Rewrite exactly-matched scalar accesses into pseudo-variable moves.
+
+    Returns the map of promoted pseudo keys.  Calls are treated as
+    defining every promoted *global* (the callee may write it); locals
+    are only promoted when their address never escapes, so calls cannot
+    touch them.
+    """
+    promoted: Dict[Tuple, StaticSym] = {}
+    for func in funcs:
+        if func.frame_unanalyzable:
+            escaped = None  # poison: no local promotion at all
+        else:
+            escaped = func.escaped_local_offsets
+        for access in func.accesses:
+            if access.exact is None or access.pseudo_key is None:
+                continue
+            entry = access.exact
+            if entry.kind in ("local", "param"):
+                if escaped is None:
+                    continue
+                if any(lo <= entry.offset < lo + size
+                       for lo, size in escaped):
+                    continue
+            else:  # global scalar
+                if entry.label in escaped_labels:
+                    continue
+            promoted[access.pseudo_key] = entry
+    global_keys = [key for key, entry in promoted.items()
+                   if entry.kind == "global"]
+
+    for func in funcs:
+        escaped = None if func.frame_unanalyzable else \
+            func.escaped_local_offsets
+        for access in func.accesses:
+            key = access.pseudo_key
+            if key is None or key not in promoted:
+                continue
+            op = access.op
+            if access.kind == "ld":
+                op.kind = "move"
+                op.defs = list(op.defs)
+                op.uses = [key]
+            else:
+                data = op.uses[-1]
+                op.kind = "move"
+                op.defs = [key]
+                op.uses = [data]
+        for block in func.blocks:
+            for op in block.ops:
+                if op.kind == "call":
+                    op.defs = op.defs + global_keys
+    return promoted

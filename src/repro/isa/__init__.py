@@ -1,0 +1,1 @@
+"""Instruction set and register model of the SPARC-like target."""

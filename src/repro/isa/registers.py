@@ -1,0 +1,192 @@
+"""Register model for the SPARC-like target machine.
+
+The architecture exposes:
+
+* eight globals ``%g0``-``%g7`` (``%g0`` reads as zero, writes discarded),
+* three windowed banks ``%o0``-``%o7``, ``%l0``-``%l7``, ``%i0``-``%i7``
+  with SPARC ``save``/``restore`` semantics (the caller's *outs* become the
+  callee's *ins*),
+* four global *monitor registers* ``%m0``-``%m3``, an architectural
+  extension standing in for SPARC ancillary state registers.  They hold the
+  per-write-type segment caches of the monitored region service
+  (see DESIGN.md, "Monitor registers").
+
+Registers are named by small integer ids (see ``REGISTER_IDS``); the
+assembler resolves textual names once so the simulator core never parses
+strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+WORD_MASK = 0xFFFFFFFF
+
+#: Number of register windows resident in the register file.  ``save``
+#: beyond this depth models a window-overflow trap (the spill itself happens
+#: in kernel mode and is charged as cycles, not simulated stores).
+NUM_WINDOWS = 8
+
+#: Windows spilled/filled per overflow/underflow trap.  Real SunOS trap
+#: handlers move several windows at once precisely so that call-depth
+#: oscillation (e.g. a procedure-call write check at steady recursion
+#: depth) does not trap on every save/restore pair.
+WINDOW_TRAP_BULK = 4
+
+NUM_GLOBALS = 8
+NUM_MONITOR = 4
+
+# Architectural register ids.
+# g0-g7 -> 0..7, o0-o7 -> 8..15, l0-l7 -> 16..23, i0-i7 -> 24..31,
+# m0-m3 -> 32..35.
+G0 = 0
+O_BASE = 8
+L_BASE = 16
+I_BASE = 24
+M_BASE = 32
+NUM_REGISTER_IDS = 36
+
+SP = O_BASE + 6  # %sp == %o6
+FP = I_BASE + 6  # %fp == %i6
+O7 = O_BASE + 7  # call return address
+I7 = I_BASE + 7
+
+
+def _build_register_ids() -> Dict[str, int]:
+    ids: Dict[str, int] = {}
+    for i in range(8):
+        ids["%%g%d" % i] = G0 + i
+        ids["%%o%d" % i] = O_BASE + i
+        ids["%%l%d" % i] = L_BASE + i
+        ids["%%i%d" % i] = I_BASE + i
+    for i in range(NUM_MONITOR):
+        ids["%%m%d" % i] = M_BASE + i
+    ids["%sp"] = SP
+    ids["%fp"] = FP
+    return ids
+
+
+#: Map from register name (``%fp``, ``%o0``, ...) to register id.
+REGISTER_IDS: Dict[str, int] = _build_register_ids()
+
+#: Inverse map (canonical names; ``%o6``/``%i6`` print as ``%sp``/``%fp``).
+REGISTER_NAMES: Dict[int, str] = {}
+for _name, _rid in REGISTER_IDS.items():
+    if _name in ("%sp", "%fp"):
+        continue
+    REGISTER_NAMES[_rid] = _name
+REGISTER_NAMES[SP] = "%sp"
+REGISTER_NAMES[FP] = "%fp"
+
+
+def register_name(rid: int) -> str:
+    """Return the canonical assembly name for register id *rid*."""
+    return REGISTER_NAMES[rid]
+
+
+class _Window:
+    """One register window: eight *outs* and eight *locals*.
+
+    The *ins* of a window are the *outs* of its parent, which gives exact
+    SPARC overlap semantics without a ring buffer.
+    """
+
+    __slots__ = ("outs", "locals", "parent")
+
+    def __init__(self, parent: "_Window" = None):
+        self.outs: List[int] = [0] * 8
+        self.locals: List[int] = [0] * 8
+        self.parent = parent
+
+
+class WindowError(Exception):
+    """Raised on ``restore`` with no saved window."""
+
+
+class RegisterFile:
+    """Windowed register file with overflow/underflow accounting.
+
+    ``save_window``/``restore_window`` return ``True`` when the operation
+    caused a window overflow or underflow trap, so the CPU can charge the
+    corresponding cycle cost.
+    """
+
+    __slots__ = ("globals", "monitors", "_window", "_resident", "_spilled",
+                 "depth")
+
+    def __init__(self):
+        self.globals: List[int] = [0] * NUM_GLOBALS
+        self.monitors: List[int] = [0] * NUM_MONITOR
+        self._window = _Window(parent=None)
+        # Number of windows materialized in the register file (incl. current)
+        self._resident = 1
+        # Number of windows spilled to the (kernel-side) save area.
+        self._spilled = 0
+        # Call depth, for diagnostics.
+        self.depth = 1
+
+    def read(self, rid: int) -> int:
+        if rid < 8:
+            return self.globals[rid] if rid else 0
+        if rid < 16:
+            return self._window.outs[rid - 8]
+        if rid < 24:
+            return self._window.locals[rid - 16]
+        if rid < 32:
+            parent = self._window.parent
+            if parent is None:
+                return 0
+            return parent.outs[rid - 24]
+        return self.monitors[rid - 32]
+
+    def write(self, rid: int, value: int) -> None:
+        value &= WORD_MASK
+        if rid < 8:
+            if rid:
+                self.globals[rid] = value
+            return
+        if rid < 16:
+            self._window.outs[rid - 8] = value
+            return
+        if rid < 24:
+            self._window.locals[rid - 16] = value
+            return
+        if rid < 32:
+            parent = self._window.parent
+            if parent is not None:
+                parent.outs[rid - 24] = value
+            return
+        self.monitors[rid - 32] = value
+
+    def save_window(self) -> bool:
+        """Push a new window (as ``save`` does).  Returns overflow flag.
+
+        On overflow the trap handler spills ``WINDOW_TRAP_BULK`` windows
+        at once, so steady-depth oscillation does not trap every time.
+        """
+        self._window = _Window(parent=self._window)
+        self.depth += 1
+        if self._resident >= NUM_WINDOWS - 1:
+            bulk = min(WINDOW_TRAP_BULK, self._resident - 1)
+            self._spilled += bulk
+            self._resident -= bulk - 1  # spilled bulk, gained the new one
+            return True
+        self._resident += 1
+        return False
+
+    def restore_window(self) -> bool:
+        """Pop the current window (as ``restore``).  Returns underflow flag."""
+        parent = self._window.parent
+        if parent is None:
+            raise WindowError("restore with no saved register window")
+        self._window = parent
+        self.depth -= 1
+        if self._resident > 1:
+            self._resident -= 1
+            return False
+        if self._spilled:
+            bulk = min(WINDOW_TRAP_BULK, self._spilled)
+            self._spilled -= bulk
+            self._resident = bulk
+            return True
+        return False

@@ -1,0 +1,1 @@
+"""CPU, memory, cache and trap simulation substrate."""

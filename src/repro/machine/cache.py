@@ -1,0 +1,47 @@
+"""Direct-mapped combined instruction + data cache.
+
+Models the cache of the paper's experimental SPARC: direct mapped,
+combined I+D, 32-byte lines (§3.3.1).  Only hit/miss behaviour is
+modelled — the CPU charges miss penalties from its cost model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+DEFAULT_CACHE_BYTES = 64 * 1024
+LINE_BYTES = 32
+LINE_SHIFT = 5
+
+
+class DirectMappedCache:
+    """Direct-mapped cache over 32-byte lines."""
+
+    __slots__ = ("num_lines", "index_mask", "lines", "hits", "misses")
+
+    def __init__(self, size_bytes: int = DEFAULT_CACHE_BYTES):
+        if size_bytes % LINE_BYTES:
+            raise ValueError("cache size must be a multiple of 32 bytes")
+        self.num_lines = size_bytes // LINE_BYTES
+        if self.num_lines & (self.num_lines - 1):
+            raise ValueError("cache size must be a power of two")
+        self.index_mask = self.num_lines - 1
+        self.lines: List[Optional[int]] = [None] * self.num_lines
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Touch *addr*; return True on hit.  Misses allocate the line."""
+        line = addr >> LINE_SHIFT
+        index = line & self.index_mask
+        if self.lines[index] == line:
+            self.hits += 1
+            return True
+        self.lines[index] = line
+        self.misses += 1
+        return False
+
+    def reset(self) -> None:
+        self.lines = [None] * self.num_lines
+        self.hits = 0
+        self.misses = 0

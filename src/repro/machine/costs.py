@@ -1,0 +1,37 @@
+"""Cycle cost model for the simulated machine.
+
+The model follows the accounting the paper uses in §3.3.3: register
+instructions cost one cycle, loads cost "between 2 and 8 cycles" (here:
+2 on a cache hit, 2 + ``dmiss_penalty`` on a miss), stores cost 3 cycles
+on a hit.  Instruction fetch goes through the combined cache, so code
+growth from inserted checks produces the §3.3.1 cache effects.
+"""
+
+from __future__ import annotations
+
+
+class CostModel:
+    """Per-event cycle costs.  All fields are plain ints so experiment
+    harnesses can build variants (e.g. the §3.3.3 break-even analysis
+    sweeps the load cost from 2 to 8 cycles)."""
+
+    __slots__ = ("load_extra", "store_extra", "dmiss_penalty",
+                 "imiss_penalty", "window_trap", "trap_base")
+
+    def __init__(self, load_extra: int = 1, store_extra: int = 2,
+                 dmiss_penalty: int = 8, imiss_penalty: int = 8,
+                 window_trap: int = 60, trap_base: int = 100):
+        self.load_extra = load_extra
+        self.store_extra = store_extra
+        self.dmiss_penalty = dmiss_penalty
+        self.imiss_penalty = imiss_penalty
+        self.window_trap = window_trap
+        self.trap_base = trap_base
+
+    def copy(self, **overrides) -> "CostModel":
+        kwargs = {name: getattr(self, name) for name in self.__slots__}
+        kwargs.update(overrides)
+        return CostModel(**kwargs)
+
+
+DEFAULT_COSTS = CostModel()

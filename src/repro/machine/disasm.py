@@ -1,0 +1,53 @@
+"""Disassembler for decoded code space.
+
+Renders instructions with addresses, label annotations, accounting tags
+and live patch state — the view a debugger user needs to see what the
+instrumenter and the dynamic patcher actually did to their code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.asm.assembler import Program
+from repro.machine.cpu import CodeSpace
+
+
+def disassemble(code: CodeSpace, start: int, count: int,
+                labels: Optional[Dict[str, int]] = None,
+                mark: Optional[int] = None) -> str:
+    """Disassemble *count* instructions starting at address *start*.
+
+    *labels* (name -> address) annotates targets; *mark* draws an arrow
+    at one address (e.g. the current pc).
+    """
+    by_addr: Dict[int, List[str]] = {}
+    for name, addr in (labels or {}).items():
+        by_addr.setdefault(addr, []).append(name)
+    lines: List[str] = []
+    for index in range(count):
+        addr = start + 4 * index
+        if addr < code.base or addr >= code.limit:
+            break
+        for name in by_addr.get(addr, ()):
+            lines.append("%s:" % name)
+        insn = code.insns[code.index_of(addr)]
+        if insn is None:
+            text, tag = "<hole>", ""
+        else:
+            text = str(insn)
+            tag = "" if insn.tag == "orig" else "  ! %s" % insn.tag
+            if insn.site is not None:
+                tag += "  ! site %d" % insn.site
+        arrow = "=> " if addr == mark else "   "
+        lines.append("%s0x%08x:  %-28s%s" % (arrow, addr, text, tag))
+    return "\n".join(lines)
+
+
+def disassemble_function(program: Program, code: CodeSpace,
+                         name: str, mark: Optional[int] = None) -> str:
+    """Disassemble one function of an assembled program."""
+    func = program.function_named(name)
+    count = func.end_index - func.start_index
+    return disassemble(code, func.address, count, labels=program.labels,
+                       mark=mark)

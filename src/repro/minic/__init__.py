@@ -1,0 +1,20 @@
+"""Mini-C: the source language for SPEC-mimic workloads.
+
+Public API: :func:`compile_source` (mini-C text -> assembly text),
+:func:`compile_and_run` (convenience: compile, assemble, load, run).
+"""
+
+from repro.minic.codegen import compile_source
+from repro.minic.lexer import CompileError
+
+
+def compile_and_run(source, lang="C", max_instructions=400_000_000,
+                    record_writes=False):
+    """Compile and execute mini-C *source*; returns (exit, output, cpu)."""
+    from repro.asm.loader import run_source
+    return run_source(compile_source(source, lang=lang),
+                      max_instructions=max_instructions,
+                      record_writes=record_writes)
+
+
+__all__ = ["compile_source", "compile_and_run", "CompileError"]

@@ -1,0 +1,247 @@
+"""AST node definitions for mini-C."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.minic.types import Type
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+
+# -- expressions -------------------------------------------------------------
+
+class Expr(Node):
+    __slots__ = ()
+
+
+class Num(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class Str(Expr):
+    """String literal; evaluates to the address of NUL-terminated data."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class Ternary(Expr):
+    """C conditional expression ``cond ? then : other``."""
+
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond: Expr, then: Expr, other: Expr, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+
+class Var(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int = 0):
+        super().__init__(line)
+        self.name = name
+
+
+class Unary(Expr):
+    """Operators: - ! ~ * (deref) & (address-of)."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Call(Expr):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: List[Expr], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+class Index(Expr):
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, line: int = 0):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Field(Expr):
+    """``base.name`` (arrow=False) or ``base->name`` (arrow=True)."""
+
+    __slots__ = ("base", "name", "arrow")
+
+    def __init__(self, base: Expr, name: str, arrow: bool, line: int = 0):
+        super().__init__(line)
+        self.base = base
+        self.name = name
+        self.arrow = arrow
+
+
+# -- statements ---------------------------------------------------------------
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Assign(Stmt):
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: Expr, value: Expr, line: int = 0):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int = 0):
+        super().__init__(line)
+        self.expr = expr
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond: Expr, then_body: "Block",
+                 else_body: Optional["Block"], line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: "Block", line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body: "Block", cond: Expr, line: int = 0):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init: Optional[Stmt], cond: Optional[Expr],
+                 step: Optional[Stmt], body: "Block", line: int = 0):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: List[Stmt], line: int = 0):
+        super().__init__(line)
+        self.stmts = stmts
+
+
+# -- declarations ---------------------------------------------------------------
+
+class VarDecl(Node):
+    __slots__ = ("name", "type", "is_register", "init_values")
+
+    def __init__(self, name: str, type_: Type, is_register: bool = False,
+                 init_values: Optional[List[int]] = None, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.type = type_
+        self.is_register = is_register
+        self.init_values = init_values
+
+
+class Param(Node):
+    __slots__ = ("name", "type", "is_register")
+
+    def __init__(self, name: str, type_: Type, is_register: bool = False,
+                 line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.type = type_
+        self.is_register = is_register
+
+
+class FuncDef(Node):
+    __slots__ = ("name", "params", "decls", "body", "returns_value")
+
+    def __init__(self, name: str, params: List[Param],
+                 decls: List[VarDecl], body: Block,
+                 returns_value: bool = True, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.decls = decls
+        self.body = body
+        self.returns_value = returns_value
+
+
+class ProgramAst(Node):
+    __slots__ = ("globals", "structs", "functions")
+
+    def __init__(self, globals_: List[VarDecl], structs: dict,
+                 functions: List[FuncDef]):
+        super().__init__(0)
+        self.globals = globals_
+        self.structs = structs
+        self.functions = functions

@@ -1,0 +1,890 @@
+"""Naive debug-mode code generator: mini-C AST -> SPARC-like assembly.
+
+The generator deliberately mirrors how the paper's programs were compiled
+for debugging (§3.1): every variable not declared ``register`` lives in
+memory (locals and parameters in the stack frame, globals in BSS), every
+use loads it and every assignment stores it, loops are top-tested with an
+explicit compare-and-branch in the header, and no global optimization is
+performed.  This is exactly the regime in which write checking is
+expensive and write-check elimination pays off.
+
+Registers:
+
+* ``%l0``-``%l2`` hold ``register`` locals (at most three per function);
+* ``%l3``-``%l7`` form the expression evaluation stack;
+* ``%o0``-``%o5`` pass arguments; ``%i0`` returns the value;
+* ``%g2``-``%g7`` and ``%m0``-``%m3`` are never touched — they are
+  reserved for the monitored region service (§2.1).
+
+Every variable gets a ``.stabs`` record so both the debugger and the
+optimizer's symbol-table pattern matching can find it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.minic import cast as A
+from repro.minic.cparser import parse_source
+from repro.minic.lexer import CompileError
+from repro.minic.types import (ArrayType, INT, PointerType, StructType,
+                               Type, decay, element_type)
+
+#: registers used for register-declared locals, in allocation order
+REGVAR_REGS = ["%l0", "%l1", "%l2"]
+#: expression evaluation stack (allocated top-down)
+EVAL_REGS = ["%l7", "%l6", "%l5", "%l4", "%l3"]
+ARG_REGS = ["%o0", "%o1", "%o2", "%o3", "%o4", "%o5"]
+
+SIMM13_MIN, SIMM13_MAX = -4096, 4095
+
+TRAP_EXIT, TRAP_PRINT_INT, TRAP_PRINT_CHAR, TRAP_SBRK = 0, 1, 2, 3
+
+_BUILTINS = {"print": TRAP_PRINT_INT, "putc": TRAP_PRINT_CHAR,
+             "sbrk": TRAP_SBRK, "exit": TRAP_EXIT}
+#: builtins lowered to calls into compiler-emitted helpers
+_HELPER_BUILTINS = {"puts": "__mc_puts"}
+
+_CMP_BRANCH = {"==": "be", "!=": "bne", "<": "bl", "<=": "ble",
+               ">": "bg", ">=": "bge"}
+_CMP_NEGATE = {"==": "bne", "!=": "be", "<": "bge", "<=": "bg",
+               ">": "ble", ">=": "bl"}
+_ALU_OPS = {"+": "add", "-": "sub", "&": "and", "|": "or", "^": "xor",
+            "<<": "sll", ">>": "sra", "*": "smul", "/": "sdiv"}
+
+
+class _Storage:
+    """Where a variable lives."""
+
+    __slots__ = ("kind", "type", "offset", "label", "reg", "name")
+
+    def __init__(self, kind: str, type_: Type, name: str, offset: int = 0,
+                 label: str = "", reg: str = ""):
+        self.kind = kind          # "frame" | "global" | "reg"
+        self.type = type_
+        self.name = name
+        self.offset = offset
+        self.label = label
+        self.reg = reg
+
+
+class _Address:
+    """A partially evaluated address: base register + displacement, or
+    base register + index register (displacement folded in earlier)."""
+
+    __slots__ = ("base", "index", "disp", "temps")
+
+    def __init__(self, base: str, disp: int = 0,
+                 index: Optional[str] = None,
+                 temps: Tuple[str, ...] = ()):
+        self.base = base
+        self.index = index
+        self.disp = disp
+        self.temps = temps
+
+    def operand(self) -> str:
+        if self.index is not None:
+            return "[%s+%s]" % (self.base, self.index)
+        if self.disp:
+            return "[%s%+d]" % (self.base, self.disp)
+        return "[%s]" % self.base
+
+
+class CodeGen:
+    def __init__(self, ast: A.ProgramAst, lang: str = "C"):
+        self.ast = ast
+        self.lang = lang
+        self.lines: List[str] = []
+        self.globals: Dict[str, _Storage] = {}
+        self.functions: Dict[str, A.FuncDef] = {}
+        self._label_counter = 0
+        # per-function state
+        self.env: Dict[str, _Storage] = {}
+        self._free_eval: List[str] = []
+        self._epilogue = ""
+        self._loop_stack: List[Tuple[str, str]] = []
+        self._current_func = ""
+        #: string literal text -> data label
+        self._strings: Dict[str, str] = {}
+        self._needs_puts = False
+
+    # -- emission helpers --------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append("\t" + text)
+
+    def emit_label(self, name: str) -> None:
+        self.lines.append(name + ":")
+
+    def new_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return ".%s%d" % (hint, self._label_counter)
+
+    # -- register pool -------------------------------------------------------
+
+    def alloc(self) -> str:
+        if not self._free_eval:
+            raise CompileError("expression too complex for the naive "
+                               "code generator (evaluation stack overflow)")
+        return self._free_eval.pop()
+
+    def free(self, reg: str) -> None:
+        if reg in EVAL_REGS:
+            self._free_eval.append(reg)
+
+    def free_addr(self, addr: _Address) -> None:
+        for reg in addr.temps:
+            self.free(reg)
+
+    # -- program ------------------------------------------------------------
+
+    def generate(self) -> str:
+        self.emit(".lang %s" % self.lang)
+        self.emit(".text")
+        for func in self.ast.functions:
+            self.functions[func.name] = func
+        for decl in self.ast.globals:
+            label = "G_" + decl.name
+            self.globals[decl.name] = _Storage("global", decl.type,
+                                               decl.name, label=label)
+        for func in self.ast.functions:
+            self.gen_function(func)
+        if self._needs_puts:
+            self._emit_puts_helper()
+        self.emit(".data")
+        for decl in self.ast.globals:
+            self.gen_global_data(decl)
+        self._emit_string_data()
+        if "main" not in self.functions:
+            raise CompileError("program has no main()")
+        return "\n".join(self.lines) + "\n"
+
+    def gen_global_data(self, decl: A.VarDecl) -> None:
+        storage = self.globals[decl.name]
+        self.emit(".align 8")
+        self.emit_label(storage.label)
+        size = decl.type.size
+        if decl.init_values:
+            words = [v & 0xFFFFFFFF for v in decl.init_values]
+            if 4 * len(words) > size:
+                raise CompileError("too many initializers for %r"
+                                   % decl.name, decl.line)
+            self.emit(".word %s" % ", ".join(str(w) for w in words))
+            remaining = size - 4 * len(words)
+            if remaining:
+                self.emit(".skip %d" % remaining)
+        else:
+            self.emit(".skip %d" % size)
+        elem = self._elem_size(decl.type)
+        suffix = ", %d" % elem if elem else ""
+        self.emit('.stabs "%s", global, %s, %d%s'
+                  % (decl.name, storage.label, size, suffix))
+        if decl.type.is_struct():
+            for field_name, _ftype in decl.type.fields:
+                offset = decl.type.field_offset(field_name)
+                self.emit('.stabs "%s.%s", global, %s+%d, 4'
+                          % (decl.name, field_name, storage.label, offset))
+
+    @staticmethod
+    def _elem_size(type_: Type) -> Optional[int]:
+        if isinstance(type_, ArrayType):
+            elem = type_.elem
+            while isinstance(elem, ArrayType):
+                elem = elem.elem
+            return elem.size
+        return None
+
+    # -- functions -------------------------------------------------------------
+
+    def gen_function(self, func: A.FuncDef) -> None:
+        self.env = {}
+        self._free_eval = list(EVAL_REGS)
+        self._loop_stack = []
+        self._current_func = func.name
+        self._epilogue = self.new_label("ret_" + func.name)
+
+        # frame layout
+        cursor = 0
+        frame_entries: List[Tuple[str, _Storage, Optional[int]]] = []
+        reg_pool = list(REGVAR_REGS)
+
+        def place(name: str, type_: Type, kind: str,
+                  want_register: bool) -> _Storage:
+            nonlocal cursor
+            if want_register and type_.is_scalar() and reg_pool:
+                storage = _Storage("reg", type_, name, reg=reg_pool.pop(0))
+                self.env[name] = storage
+                return storage
+            size = (type_.size + 3) & ~3
+            cursor -= size
+            if cursor < -3500:
+                raise CompileError(
+                    "frame too large in %s (move arrays to globals)"
+                    % func.name, func.line)
+            storage = _Storage(kind, type_, name, offset=cursor)
+            self.env[name] = storage
+            frame_entries.append((name, storage, self._elem_size(type_)))
+            return storage
+
+        param_storages = []
+        for param in func.params:
+            if param.is_register and reg_pool:
+                storage = _Storage("reg", param.type, param.name,
+                                   reg=reg_pool.pop(0))
+                self.env[param.name] = storage
+                param_storages.append(storage)
+            else:
+                storage = place(param.name, param.type, "frame", False)
+                storage.kind = "param"
+                param_storages.append(storage)
+        for decl in func.decls:
+            if decl.name in self.env:
+                raise CompileError("redefinition of %r" % decl.name,
+                                   decl.line)
+            place(decl.name, decl.type, "frame", decl.is_register)
+
+        frame = 96 + ((-cursor + 7) & ~7)
+        self.emit(".proc %s" % func.name)
+        self.emit_label(func.name)
+        self.emit("save %%sp, -%d, %%sp" % frame)
+
+        # parameter homing: naive debug code stores params to their slots
+        for index, (param, storage) in enumerate(
+                zip(func.params, param_storages)):
+            if index >= len(ARG_REGS):
+                raise CompileError("too many parameters in %s" % func.name,
+                                   func.line)
+            in_reg = "%%i%d" % index
+            if storage.kind == "reg":
+                self.emit("mov %s, %s" % (in_reg, storage.reg))
+            else:
+                self.emit("st %s, [%%fp%+d]" % (in_reg, storage.offset))
+
+        # stabs
+        for name, storage, elem in frame_entries:
+            kind = "param" if storage.kind == "param" else "local"
+            suffix = ", %d" % elem if elem else ""
+            self.emit('.stabs "%s", %s, %d, %d%s'
+                      % (name, kind, storage.offset, storage.type.size,
+                         suffix))
+            if storage.type.is_struct():
+                for field_name, _t in storage.type.fields:
+                    offset = storage.type.field_offset(field_name)
+                    self.emit('.stabs "%s.%s", %s, %d, 4'
+                              % (name, field_name, kind,
+                                 storage.offset + offset))
+        for name, storage in self.env.items():
+            if storage.kind == "reg":
+                self.emit('.stabs "%s", register, %s, 4'
+                          % (name, storage.reg))
+
+        self.gen_block(func.body)
+
+        self.emit_label(self._epilogue)
+        self.emit("ret")
+        self.emit("restore")
+        self.emit(".endproc")
+
+    # -- statements ------------------------------------------------------------
+
+    def gen_block(self, block: A.Block) -> None:
+        for stmt in block.stmts:
+            self.gen_statement(stmt)
+
+    def gen_statement(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Assign):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            reg = self.gen_expr(stmt.expr)
+            self.free(reg)
+        elif isinstance(stmt, A.If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, A.While):
+            self.gen_while(stmt)
+        elif isinstance(stmt, A.DoWhile):
+            self.gen_do_while(stmt)
+        elif isinstance(stmt, A.For):
+            self.gen_for(stmt)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                reg = self.gen_expr(stmt.value)
+                self.emit("mov %s, %%i0" % reg)
+                self.free(reg)
+            self.emit("ba %s" % self._epilogue)
+            self.emit("nop")
+        elif isinstance(stmt, A.Break):
+            if not self._loop_stack:
+                raise CompileError("break outside loop", stmt.line)
+            self.emit("ba %s" % self._loop_stack[-1][1])
+            self.emit("nop")
+        elif isinstance(stmt, A.Continue):
+            if not self._loop_stack:
+                raise CompileError("continue outside loop", stmt.line)
+            self.emit("ba %s" % self._loop_stack[-1][0])
+            self.emit("nop")
+        elif isinstance(stmt, A.Block):
+            self.gen_block(stmt)
+        else:
+            raise CompileError("unknown statement %r" % stmt, stmt.line)
+
+    def gen_assign(self, stmt: A.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, A.Var):
+            storage = self.lookup(target.name, target.line)
+            if storage.kind == "reg":
+                value = self.gen_expr(stmt.value)
+                self.emit("mov %s, %s" % (value, storage.reg))
+                self.free(value)
+                return
+        value = self.gen_expr(stmt.value)
+        addr = self.gen_addr(target)
+        self.emit("st %s, %s" % (value, addr.operand()))
+        self.free(value)
+        self.free_addr(addr)
+
+    def gen_if(self, stmt: A.If) -> None:
+        label_else = self.new_label("else")
+        label_end = self.new_label("endif")
+        self.gen_branch_false(stmt.cond, label_else)
+        self.gen_block(stmt.then_body)
+        if stmt.else_body is not None:
+            self.emit("ba %s" % label_end)
+            self.emit("nop")
+            self.emit_label(label_else)
+            self.gen_block(stmt.else_body)
+            self.emit_label(label_end)
+        else:
+            self.emit_label(label_else)
+
+    def gen_while(self, stmt: A.While) -> None:
+        label_test = self.new_label("while")
+        label_exit = self.new_label("wend")
+        self._loop_stack.append((label_test, label_exit))
+        self.emit_label(label_test)
+        self.gen_branch_false(stmt.cond, label_exit)
+        self.gen_block(stmt.body)
+        self.emit("ba %s" % label_test)
+        self.emit("nop")
+        self.emit_label(label_exit)
+        self._loop_stack.pop()
+
+    def gen_do_while(self, stmt: A.DoWhile) -> None:
+        label_body = self.new_label("do")
+        label_cont = self.new_label("dtest")
+        label_exit = self.new_label("dend")
+        self._loop_stack.append((label_cont, label_exit))
+        self.emit_label(label_body)
+        self.gen_block(stmt.body)
+        self.emit_label(label_cont)
+        self.gen_branch_true(stmt.cond, label_body)
+        self.emit_label(label_exit)
+        self._loop_stack.pop()
+
+    def gen_for(self, stmt: A.For) -> None:
+        label_test = self.new_label("for")
+        label_cont = self.new_label("fstep")
+        label_exit = self.new_label("fend")
+        if stmt.init is not None:
+            self.gen_statement(stmt.init)
+        self._loop_stack.append((label_cont, label_exit))
+        self.emit_label(label_test)
+        if stmt.cond is not None:
+            self.gen_branch_false(stmt.cond, label_exit)
+        self.gen_block(stmt.body)
+        self.emit_label(label_cont)
+        if stmt.step is not None:
+            self.gen_statement(stmt.step)
+        self.emit("ba %s" % label_test)
+        self.emit("nop")
+        self.emit_label(label_exit)
+        self._loop_stack.pop()
+
+    # -- conditions --------------------------------------------------------------
+
+    def gen_branch_false(self, expr: A.Expr, label: str) -> None:
+        """Branch to *label* when *expr* is false; else fall through."""
+        if isinstance(expr, A.Binary) and expr.op in _CMP_NEGATE:
+            left = self.gen_expr(expr.left)
+            right, imm = self._cmp_operand(expr.right)
+            self.emit("cmp %s, %s" % (left, right))
+            self.emit("%s %s" % (_CMP_NEGATE[expr.op], label))
+            self.emit("nop")
+            self.free(left)
+            if not imm:
+                self.free(right)
+            return
+        if isinstance(expr, A.Binary) and expr.op == "&&":
+            self.gen_branch_false(expr.left, label)
+            self.gen_branch_false(expr.right, label)
+            return
+        if isinstance(expr, A.Binary) and expr.op == "||":
+            label_mid = self.new_label("or")
+            self.gen_branch_true(expr.left, label_mid)
+            self.gen_branch_false(expr.right, label)
+            self.emit_label(label_mid)
+            return
+        if isinstance(expr, A.Unary) and expr.op == "!":
+            self.gen_branch_true(expr.operand, label)
+            return
+        reg = self.gen_expr(expr)
+        self.emit("tst %s" % reg)
+        self.emit("be %s" % label)
+        self.emit("nop")
+        self.free(reg)
+
+    def gen_branch_true(self, expr: A.Expr, label: str) -> None:
+        """Branch to *label* when *expr* is true; else fall through."""
+        if isinstance(expr, A.Binary) and expr.op in _CMP_BRANCH:
+            left = self.gen_expr(expr.left)
+            right, imm = self._cmp_operand(expr.right)
+            self.emit("cmp %s, %s" % (left, right))
+            self.emit("%s %s" % (_CMP_BRANCH[expr.op], label))
+            self.emit("nop")
+            self.free(left)
+            if not imm:
+                self.free(right)
+            return
+        if isinstance(expr, A.Binary) and expr.op == "&&":
+            label_mid = self.new_label("and")
+            self.gen_branch_false(expr.left, label_mid)
+            self.gen_branch_true(expr.right, label)
+            self.emit_label(label_mid)
+            return
+        if isinstance(expr, A.Binary) and expr.op == "||":
+            self.gen_branch_true(expr.left, label)
+            self.gen_branch_true(expr.right, label)
+            return
+        if isinstance(expr, A.Unary) and expr.op == "!":
+            self.gen_branch_false(expr.operand, label)
+            return
+        reg = self.gen_expr(expr)
+        self.emit("tst %s" % reg)
+        self.emit("bne %s" % label)
+        self.emit("nop")
+        self.free(reg)
+
+    def _cmp_operand(self, expr: A.Expr) -> Tuple[str, bool]:
+        """Fold small constants into the cmp immediate field."""
+        if isinstance(expr, A.Num) and SIMM13_MIN <= expr.value <= SIMM13_MAX:
+            return str(expr.value), True
+        reg = self.gen_expr(expr)
+        return reg, False
+
+    # -- expressions ------------------------------------------------------------
+
+    def lookup(self, name: str, line: int) -> _Storage:
+        storage = self.env.get(name) or self.globals.get(name)
+        if storage is None:
+            raise CompileError("undefined variable %r" % name, line)
+        return storage
+
+    def type_of(self, expr: A.Expr) -> Type:
+        """Static type of *expr* (rvalue types; arrays do not decay)."""
+        if isinstance(expr, A.Num):
+            return INT
+        if isinstance(expr, A.Str):
+            return PointerType(INT)
+        if isinstance(expr, A.Ternary):
+            return self.type_of(expr.then)
+        if isinstance(expr, A.Var):
+            return self.lookup(expr.name, expr.line).type
+        if isinstance(expr, A.Unary):
+            if expr.op == "*":
+                return element_type(decay(self.type_of(expr.operand)),
+                                    expr.line)
+            if expr.op == "&":
+                return PointerType(self.type_of(expr.operand))
+            return INT
+        if isinstance(expr, A.Binary):
+            if expr.op in ("+", "-"):
+                left = decay(self.type_of(expr.left))
+                if left.is_pointer():
+                    return left
+                right = decay(self.type_of(expr.right))
+                if right.is_pointer():
+                    return right
+            return INT
+        if isinstance(expr, A.Index):
+            return element_type(decay(self.type_of(expr.base)), expr.line)
+        if isinstance(expr, A.Field):
+            base_type = self.type_of(expr.base)
+            if expr.arrow:
+                base_type = element_type(decay(base_type), expr.line)
+            if not isinstance(base_type, StructType):
+                raise CompileError("field access on non-struct", expr.line)
+            return base_type.field_type(expr.name, expr.line)
+        if isinstance(expr, A.Call):
+            func = self.functions.get(expr.name)
+            if func is not None:
+                return INT  # functions return word-sized values
+            return INT
+        raise CompileError("cannot type %r" % expr, expr.line)
+
+    def gen_expr(self, expr: A.Expr) -> str:
+        """Evaluate *expr* into a freshly allocated evaluation register."""
+        if isinstance(expr, A.Num):
+            reg = self.alloc()
+            if SIMM13_MIN <= expr.value <= SIMM13_MAX:
+                self.emit("mov %d, %s" % (expr.value, reg))
+            else:
+                self.emit("set %d, %s" % (expr.value, reg))
+            return reg
+        if isinstance(expr, A.Var):
+            storage = self.lookup(expr.name, expr.line)
+            reg = self.alloc()
+            if storage.kind == "reg":
+                self.emit("mov %s, %s" % (storage.reg, reg))
+            elif storage.type.is_array():
+                if storage.kind == "global":
+                    self.emit("set %s, %s" % (storage.label, reg))
+                else:
+                    self.emit("add %%fp, %d, %s" % (storage.offset, reg))
+            elif storage.kind == "global":
+                self.emit("set %s, %s" % (storage.label, reg))
+                self.emit("ld [%s], %s" % (reg, reg))
+            else:
+                self.emit("ld [%%fp%+d], %s" % (storage.offset, reg))
+            return reg
+        if isinstance(expr, A.Str):
+            reg = self.alloc()
+            self.emit("set %s, %s" % (self._string_label(expr.value), reg))
+            return reg
+        if isinstance(expr, A.Ternary):
+            return self.gen_ternary(expr)
+        if isinstance(expr, A.Unary):
+            return self.gen_unary(expr)
+        if isinstance(expr, A.Binary):
+            return self.gen_binary(expr)
+        if isinstance(expr, A.Call):
+            return self.gen_call(expr)
+        if isinstance(expr, (A.Index, A.Field)):
+            result_type = self.type_of(expr)
+            addr = self.gen_addr(expr)
+            reg = self._addr_into_reg(addr)
+            if not result_type.is_array() and not result_type.is_struct():
+                self.emit("ld [%s], %s" % (reg, reg))
+            return reg
+        raise CompileError("cannot evaluate %r" % expr, expr.line)
+
+    def _addr_into_reg(self, addr: _Address) -> str:
+        """Materialize an address into a single owned register."""
+        if addr.index is not None:
+            if addr.base in addr.temps:
+                reg = addr.base
+                self.emit("add %s, %s, %s" % (addr.base, addr.index, reg))
+                if addr.index in addr.temps:
+                    self.free(addr.index)
+            else:
+                reg = addr.index if addr.index in addr.temps else self.alloc()
+                self.emit("add %s, %s, %s" % (addr.base, addr.index, reg))
+            return reg
+        if addr.base in addr.temps:
+            if addr.disp:
+                self.emit("add %s, %d, %s" % (addr.base, addr.disp,
+                                              addr.base))
+            return addr.base
+        reg = self.alloc()
+        if addr.disp:
+            self.emit("add %s, %d, %s" % (addr.base, addr.disp, reg))
+        else:
+            self.emit("mov %s, %s" % (addr.base, reg))
+        return reg
+
+    def gen_unary(self, expr: A.Unary) -> str:
+        if expr.op == "&":
+            addr = self.gen_addr(expr.operand)
+            return self._addr_into_reg(addr)
+        if expr.op == "*":
+            reg = self.gen_expr(expr.operand)
+            target_type = self.type_of(expr)
+            if not target_type.is_struct() and not target_type.is_array():
+                self.emit("ld [%s], %s" % (reg, reg))
+            return reg
+        if expr.op == "-":
+            reg = self.gen_expr(expr.operand)
+            self.emit("sub %%g0, %s, %s" % (reg, reg))
+            return reg
+        if expr.op == "~":
+            reg = self.gen_expr(expr.operand)
+            self.emit("xor %s, -1, %s" % (reg, reg))
+            return reg
+        if expr.op == "!":
+            return self._bool_value(expr)
+        raise CompileError("unknown unary %r" % expr.op, expr.line)
+
+    def gen_binary(self, expr: A.Binary) -> str:
+        if expr.op in _CMP_BRANCH or expr.op in ("&&", "||"):
+            return self._bool_value(expr)
+        if expr.op == "%":
+            left = self.gen_expr(expr.left)
+            right = self.gen_expr(expr.right)
+            temp = self.alloc()
+            self.emit("sdiv %s, %s, %s" % (left, right, temp))
+            self.emit("smul %s, %s, %s" % (temp, right, temp))
+            self.emit("sub %s, %s, %s" % (left, temp, left))
+            self.free(temp)
+            self.free(right)
+            return left
+
+        left_type = decay(self.type_of(expr.left))
+        right_type = decay(self.type_of(expr.right))
+        left = self.gen_expr(expr.left)
+        # pointer arithmetic: scale the integer side by the element size
+        if expr.op in ("+", "-") and left_type.is_pointer() \
+                and not right_type.is_pointer():
+            right = self.gen_expr(expr.right)
+            right = self._scale(right, element_type(left_type).size)
+        elif expr.op == "+" and right_type.is_pointer():
+            left = self._scale(left, element_type(right_type).size)
+            right = self.gen_expr(expr.right)
+        else:
+            if isinstance(expr.right, A.Num) and \
+                    SIMM13_MIN <= expr.right.value <= SIMM13_MAX and \
+                    expr.op in _ALU_OPS:
+                self.emit("%s %s, %d, %s" % (_ALU_OPS[expr.op], left,
+                                             expr.right.value, left))
+                return left
+            right = self.gen_expr(expr.right)
+        op = _ALU_OPS.get(expr.op)
+        if op is None:
+            raise CompileError("unknown binary %r" % expr.op, expr.line)
+        self.emit("%s %s, %s, %s" % (op, left, right, left))
+        self.free(right)
+        return left
+
+    def _scale(self, reg: str, size: int) -> str:
+        if size == 1:
+            return reg
+        if size & (size - 1) == 0:
+            self.emit("sll %s, %d, %s" % (reg, size.bit_length() - 1, reg))
+        else:
+            temp = self.alloc()
+            self.emit("mov %d, %s" % (size, temp))
+            self.emit("smul %s, %s, %s" % (reg, temp, reg))
+            self.free(temp)
+        return reg
+
+    def gen_ternary(self, expr: A.Ternary) -> str:
+        reg = self.alloc()
+        label_else = self.new_label("tern")
+        label_end = self.new_label("ternend")
+        self.gen_branch_false(expr.cond, label_else)
+        value = self.gen_expr(expr.then)
+        self.emit("mov %s, %s" % (value, reg))
+        self.free(value)
+        self.emit("ba %s" % label_end)
+        self.emit("nop")
+        self.emit_label(label_else)
+        value = self.gen_expr(expr.other)
+        self.emit("mov %s, %s" % (value, reg))
+        self.free(value)
+        self.emit_label(label_end)
+        return reg
+
+    def _string_label(self, text: str) -> str:
+        label = self._strings.get(text)
+        if label is None:
+            label = ".Lstr%d" % len(self._strings)
+            self._strings[text] = label
+        return label
+
+    def _bool_value(self, expr: A.Expr) -> str:
+        reg = self.alloc()
+        label_false = self.new_label("bf")
+        label_end = self.new_label("bend")
+        self.gen_branch_false(expr, label_false)
+        self.emit("mov 1, %s" % reg)
+        self.emit("ba %s" % label_end)
+        self.emit("nop")
+        self.emit_label(label_false)
+        self.emit("mov 0, %s" % reg)
+        self.emit_label(label_end)
+        return reg
+
+    def gen_call(self, expr: A.Call) -> str:
+        if expr.name in _BUILTINS:
+            return self._gen_builtin(expr)
+        if expr.name in _HELPER_BUILTINS and \
+                expr.name not in self.functions:
+            return self._gen_helper_call(expr)
+        if expr.name not in self.functions:
+            raise CompileError("call to undefined function %r" % expr.name,
+                               expr.line)
+        if len(expr.args) > len(ARG_REGS):
+            raise CompileError("too many arguments", expr.line)
+        # Leaf arguments (constants, simple variables) are loaded
+        # directly into their %o registers at the end; only compound
+        # arguments occupy evaluation-stack registers in the meantime.
+        arg_regs: List[Tuple[int, str]] = []
+        deferred: List[Tuple[int, A.Expr]] = []
+        for index, arg in enumerate(expr.args):
+            if self._is_leaf_arg(arg):
+                deferred.append((index, arg))
+            else:
+                arg_regs.append((index, self.gen_expr(arg)))
+        for index, reg in arg_regs:
+            self.emit("mov %s, %s" % (reg, ARG_REGS[index]))
+            self.free(reg)
+        for index, arg in deferred:
+            self._gen_leaf_into(arg, ARG_REGS[index])
+        self.emit("call %s" % expr.name)
+        self.emit("nop")
+        result = self.alloc()
+        self.emit("mov %%o0, %s" % result)
+        return result
+
+    def _is_leaf_arg(self, expr: A.Expr) -> bool:
+        if isinstance(expr, A.Num):
+            return SIMM13_MIN <= expr.value <= SIMM13_MAX
+        if isinstance(expr, A.Var):
+            storage = self.env.get(expr.name) or self.globals.get(expr.name)
+            return storage is not None
+        return False
+
+    def _gen_leaf_into(self, expr: A.Expr, target: str) -> None:
+        """Materialize a leaf argument directly in *target*."""
+        if isinstance(expr, A.Num):
+            self.emit("mov %d, %s" % (expr.value, target))
+            return
+        storage = self.lookup(expr.name, expr.line)
+        if storage.kind == "reg":
+            self.emit("mov %s, %s" % (storage.reg, target))
+        elif storage.type.is_array():
+            if storage.kind == "global":
+                self.emit("set %s, %s" % (storage.label, target))
+            else:
+                self.emit("add %%fp, %d, %s" % (storage.offset, target))
+        elif storage.kind == "global":
+            self.emit("set %s, %s" % (storage.label, target))
+            self.emit("ld [%s], %s" % (target, target))
+        else:
+            self.emit("ld [%%fp%+d], %s" % (storage.offset, target))
+
+    def _gen_builtin(self, expr: A.Call) -> str:
+        trap = _BUILTINS[expr.name]
+        if len(expr.args) != 1:
+            raise CompileError("%s takes one argument" % expr.name,
+                               expr.line)
+        reg = self.gen_expr(expr.args[0])
+        self.emit("mov %s, %%o0" % reg)
+        self.free(reg)
+        self.emit("ta %d" % trap)
+        result = self.alloc()
+        self.emit("mov %%o0, %s" % result)
+        return result
+
+    def _gen_helper_call(self, expr: A.Call) -> str:
+        if len(expr.args) != 1:
+            raise CompileError("%s takes one argument" % expr.name,
+                               expr.line)
+        self._needs_puts = True
+        reg = self.gen_expr(expr.args[0])
+        self.emit("mov %s, %%o0" % reg)
+        self.free(reg)
+        self.emit("call %s" % _HELPER_BUILTINS[expr.name])
+        self.emit("nop")
+        result = self.alloc()
+        self.emit("mov %%o0, %s" % result)
+        return result
+
+    def _emit_puts_helper(self) -> None:
+        """Byte-at-a-time string printer: pointer in %o0, NUL-terminated."""
+        self.emit(".proc __mc_puts")
+        self.emit_label("__mc_puts")
+        self.emit("save %sp, -96, %sp")
+        self.emit_label(".Lputs_loop")
+        self.emit("ldub [%i0], %o0")
+        self.emit("tst %o0")
+        self.emit("be .Lputs_done")
+        self.emit("nop")
+        self.emit("ta %d" % TRAP_PRINT_CHAR)
+        self.emit("ba .Lputs_loop")
+        self.emit("add %i0, 1, %i0")
+        self.emit_label(".Lputs_done")
+        self.emit("mov 0, %i0")
+        self.emit("ret")
+        self.emit("restore")
+        self.emit(".endproc")
+
+    def _emit_string_data(self) -> None:
+        for text, label in self._strings.items():
+            data = text.encode("latin-1", errors="replace") + b"\x00"
+            words = []
+            for offset in range(0, len(data), 4):
+                chunk = data[offset:offset + 4].ljust(4, b"\x00")
+                words.append(int.from_bytes(chunk, "big"))
+            self.emit(".align 4")
+            self.emit_label(label)
+            self.emit(".word %s" % ", ".join(str(w) for w in words))
+
+    # -- addresses -----------------------------------------------------------------
+
+    def gen_addr(self, expr: A.Expr) -> _Address:
+        """Compute the address of lvalue *expr*."""
+        if isinstance(expr, A.Var):
+            storage = self.lookup(expr.name, expr.line)
+            if storage.kind == "reg":
+                raise CompileError("cannot take the address of register "
+                                   "variable %r" % expr.name, expr.line)
+            if storage.kind == "global":
+                reg = self.alloc()
+                self.emit("set %s, %s" % (storage.label, reg))
+                return _Address(reg, temps=(reg,))
+            return _Address("%fp", storage.offset)
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            reg = self.gen_expr(expr.operand)
+            return _Address(reg, temps=(reg,))
+        if isinstance(expr, A.Index):
+            return self._gen_index_addr(expr)
+        if isinstance(expr, A.Field):
+            return self._gen_field_addr(expr)
+        raise CompileError("not an lvalue: %r" % expr, expr.line)
+
+    def _base_address(self, base: A.Expr, line: int) -> _Address:
+        base_type = self.type_of(base)
+        if base_type.is_array():
+            return self.gen_addr(base)
+        reg = self.gen_expr(base)  # pointer value
+        return _Address(reg, temps=(reg,))
+
+    def _gen_index_addr(self, expr: A.Index) -> _Address:
+        elem = element_type(decay(self.type_of(expr.base)), expr.line)
+        addr = self._base_address(expr.base, expr.line)
+        if isinstance(expr.index, A.Num):
+            disp = addr.disp + expr.index.value * elem.size
+            if addr.index is None and SIMM13_MIN <= disp <= SIMM13_MAX:
+                return _Address(addr.base, disp, temps=addr.temps)
+            base = self._addr_into_reg(addr)
+            self.emit("add %s, %d, %s"
+                      % (base, expr.index.value * elem.size, base))
+            return _Address(base, temps=(base,))
+        index_reg = self.gen_expr(expr.index)
+        index_reg = self._scale(index_reg, elem.size)
+        base = self._addr_into_reg(addr)
+        return _Address(base, index=index_reg, temps=(base, index_reg))
+
+    def _gen_field_addr(self, expr: A.Field) -> _Address:
+        base_type = self.type_of(expr.base)
+        if expr.arrow:
+            struct_type = element_type(decay(base_type), expr.line)
+            reg = self.gen_expr(expr.base)
+            addr = _Address(reg, temps=(reg,))
+        else:
+            struct_type = base_type
+            addr = self.gen_addr(expr.base)
+        if not isinstance(struct_type, StructType):
+            raise CompileError("field access on non-struct", expr.line)
+        offset = struct_type.field_offset(expr.name, expr.line)
+        disp = addr.disp + offset
+        if addr.index is None and SIMM13_MIN <= disp <= SIMM13_MAX:
+            return _Address(addr.base, disp, temps=addr.temps)
+        base = self._addr_into_reg(addr)
+        if offset:
+            self.emit("add %s, %d, %s" % (base, offset, base))
+        return _Address(base, temps=(base,))
+
+
+def compile_source(source: str, lang: str = "C") -> str:
+    """Compile mini-C *source* to assembly text."""
+    ast = parse_source(source)
+    return CodeGen(ast, lang=lang).generate()

@@ -1,0 +1,422 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.minic import cast as A
+from repro.minic.lexer import CompileError, Token, tokenize
+from repro.minic.types import (ArrayType, INT, PointerType, StructType,
+                               Type)
+
+#: binary operator precedence (higher binds tighter)
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens: List[Token] = tokenize(source)
+        self.pos = 0
+        self.structs: Dict[str, StructType] = {}
+
+    # -- token helpers ------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None
+               ) -> Optional[Token]:
+        token = self.tok
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            raise CompileError(
+                "expected %s, got %r" % (value or kind, self.tok.value),
+                self.tok.line)
+        return token
+
+    def peek_op(self, value: str) -> bool:
+        return self.tok.kind == "op" and self.tok.value == value
+
+    # -- types ---------------------------------------------------------
+
+    def _is_type_start(self) -> bool:
+        return self.tok.kind in ("int", "void", "register") or \
+            (self.tok.kind == "struct")
+
+    def parse_base_type(self) -> Type:
+        if self.accept("int"):
+            return INT
+        if self.accept("void"):
+            return INT  # void only appears as a return type; treat as int
+        if self.accept("struct"):
+            name = self.expect("ident").value
+            if name not in self.structs:
+                raise CompileError("unknown struct %r" % name, self.tok.line)
+            return self.structs[name]
+        raise CompileError("expected type, got %r" % self.tok.value,
+                           self.tok.line)
+
+    def parse_pointers(self, base: Type) -> Type:
+        while self.accept("op", "*"):
+            base = PointerType(base)
+        return base
+
+    # -- top level -------------------------------------------------------
+
+    def parse_program(self) -> A.ProgramAst:
+        globals_: List[A.VarDecl] = []
+        functions: List[A.FuncDef] = []
+        while self.tok.kind != "eof":
+            if self.tok.kind == "struct" and \
+                    self.tokens[self.pos + 2].value == "{":
+                self.parse_struct_def()
+                continue
+            is_register = bool(self.accept("register"))
+            base = self.parse_base_type()
+            type_ = self.parse_pointers(base)
+            name_tok = self.expect("ident")
+            if self.peek_op("("):
+                if is_register:
+                    raise CompileError("register on a function",
+                                       name_tok.line)
+                functions.append(self.parse_function(name_tok.value))
+            else:
+                globals_.append(
+                    self.parse_var_tail(name_tok, type_, is_register,
+                                        allow_init=True))
+        return A.ProgramAst(globals_, self.structs, functions)
+
+    def parse_struct_def(self) -> None:
+        line = self.expect("struct").line
+        name = self.expect("ident").value
+        self.expect("op", "{")
+        fields = []
+        while not self.accept("op", "}"):
+            base = self.parse_base_type()
+            field_type = self.parse_pointers(base)
+            field_name = self.expect("ident").value
+            if field_type.is_struct():
+                raise CompileError("nested struct fields not supported",
+                                   line)
+            self.expect("op", ";")
+            fields.append((field_name, field_type))
+        self.expect("op", ";")
+        if name in self.structs:
+            raise CompileError("struct %r redefined" % name, line)
+        self.structs[name] = StructType(name, fields)
+
+    def parse_var_tail(self, name_tok: Token, type_: Type,
+                       is_register: bool, allow_init: bool) -> A.VarDecl:
+        while self.accept("op", "["):
+            count_tok = self.expect("num")
+            self.expect("op", "]")
+            type_ = ArrayType(type_, int(count_tok.value, 0))
+        if isinstance(type_, ArrayType):
+            # int a[2][3] parses inner-first; normalize to row-major
+            type_ = _normalize_array(type_)
+        init_values = None
+        if self.accept("op", "="):
+            if not allow_init:
+                raise CompileError("initializer not allowed here",
+                                   name_tok.line)
+            init_values = self.parse_initializer()
+        self.expect("op", ";")
+        if is_register and not type_.is_scalar():
+            raise CompileError("register array/struct not supported",
+                               name_tok.line)
+        return A.VarDecl(name_tok.value, type_, is_register, init_values,
+                         name_tok.line)
+
+    def parse_initializer(self) -> List[int]:
+        if self.accept("op", "{"):
+            values = []
+            while not self.accept("op", "}"):
+                values.append(self.parse_const())
+                if not self.peek_op("}"):
+                    self.expect("op", ",")
+            return values
+        return [self.parse_const()]
+
+    def parse_const(self) -> int:
+        negative = bool(self.accept("op", "-"))
+        token = self.expect("num")
+        value = int(token.value, 0)
+        return -value if negative else value
+
+    # -- functions --------------------------------------------------------
+
+    def parse_function(self, name: str) -> A.FuncDef:
+        line = self.tok.line
+        self.expect("op", "(")
+        params: List[A.Param] = []
+        if not self.peek_op(")"):
+            if self.tok.kind == "void" and \
+                    self.tokens[self.pos + 1].value == ")":
+                self.advance()
+            else:
+                while True:
+                    is_register = bool(self.accept("register"))
+                    base = self.parse_base_type()
+                    ptype = self.parse_pointers(base)
+                    pname = self.expect("ident").value
+                    if not ptype.is_scalar():
+                        raise CompileError(
+                            "struct parameters must be pointers", line)
+                    params.append(A.Param(pname, ptype, is_register, line))
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        self.expect("op", "{")
+        decls: List[A.VarDecl] = []
+        while self._is_type_start():
+            is_register = bool(self.accept("register"))
+            base = self.parse_base_type()
+            type_ = self.parse_pointers(base)
+            name_tok = self.expect("ident")
+            decls.append(self.parse_var_tail(name_tok, type_, is_register,
+                                             allow_init=False))
+        stmts: List[A.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self.parse_statement())
+        return A.FuncDef(name, params, decls, A.Block(stmts, line),
+                         line=line)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> A.Stmt:
+        token = self.tok
+        if token.kind == "if":
+            return self.parse_if()
+        if token.kind == "while":
+            return self.parse_while()
+        if token.kind == "do":
+            return self.parse_do_while()
+        if token.kind == "for":
+            return self.parse_for()
+        if token.kind == "return":
+            self.advance()
+            value = None
+            if not self.peek_op(";"):
+                value = self.parse_expression()
+            self.expect("op", ";")
+            return A.Return(value, token.line)
+        if token.kind == "break":
+            self.advance()
+            self.expect("op", ";")
+            return A.Break(token.line)
+        if token.kind == "continue":
+            self.advance()
+            self.expect("op", ";")
+            return A.Continue(token.line)
+        if self.peek_op("{"):
+            return self.parse_block()
+        if self.peek_op(";"):
+            self.advance()
+            return A.Block([], token.line)
+        stmt = self.parse_simple()
+        self.expect("op", ";")
+        return stmt
+
+    def parse_block(self) -> A.Block:
+        line = self.expect("op", "{").line
+        stmts = []
+        while not self.accept("op", "}"):
+            stmts.append(self.parse_statement())
+        return A.Block(stmts, line)
+
+    _COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/",
+                     "%=": "%"}
+
+    def parse_simple(self) -> A.Stmt:
+        """Assignment or expression statement (used directly in for())."""
+        line = self.tok.line
+        if self.peek_op("++") or self.peek_op("--"):
+            op = self.advance().value
+            target = self.parse_unary()
+            return self._increment(target, op, line)
+        expr = self.parse_expression()
+        if self.accept("op", "="):
+            self._require_lvalue(expr, line)
+            value = self.parse_expression()
+            return A.Assign(expr, value, line)
+        for token, binop in self._COMPOUND_OPS.items():
+            if self.accept("op", token):
+                self._require_lvalue(expr, line)
+                value = self.parse_expression()
+                return A.Assign(expr, A.Binary(binop, expr, value, line),
+                                line)
+        if self.peek_op("++") or self.peek_op("--"):
+            op = self.advance().value
+            return self._increment(expr, op, line)
+        return A.ExprStmt(expr, line)
+
+    def _increment(self, target: A.Expr, op: str, line: int) -> A.Stmt:
+        self._require_lvalue(target, line, allow_register=True)
+        delta = A.Num(1, line)
+        binop = "+" if op == "++" else "-"
+        return A.Assign(target, A.Binary(binop, target, delta, line),
+                        line)
+
+    @staticmethod
+    def _require_lvalue(expr: A.Expr, line: int,
+                        allow_register: bool = False) -> None:
+        if not isinstance(expr, (A.Var, A.Index, A.Field)) and not (
+                isinstance(expr, A.Unary) and expr.op == "*"):
+            raise CompileError("assignment target is not an lvalue",
+                               line)
+
+    def parse_if(self) -> A.If:
+        line = self.expect("if").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then_body = self._statement_as_block()
+        else_body = None
+        if self.accept("else"):
+            else_body = self._statement_as_block()
+        return A.If(cond, then_body, else_body, line)
+
+    def _statement_as_block(self) -> A.Block:
+        stmt = self.parse_statement()
+        if isinstance(stmt, A.Block):
+            return stmt
+        return A.Block([stmt], stmt.line)
+
+    def parse_do_while(self) -> A.DoWhile:
+        line = self.expect("do").line
+        body = self._statement_as_block()
+        self.expect("while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return A.DoWhile(body, cond, line)
+
+    def parse_while(self) -> A.While:
+        line = self.expect("while").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        return A.While(cond, self._statement_as_block(), line)
+
+    def parse_for(self) -> A.For:
+        line = self.expect("for").line
+        self.expect("op", "(")
+        init = None if self.peek_op(";") else self.parse_simple()
+        self.expect("op", ";")
+        cond = None if self.peek_op(";") else self.parse_expression()
+        self.expect("op", ";")
+        step = None if self.peek_op(")") else self.parse_simple()
+        self.expect("op", ")")
+        return A.For(init, cond, step, self._statement_as_block(), line)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expression(self, min_prec: int = 1) -> A.Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.tok
+            if token.kind != "op":
+                break
+            prec = _PRECEDENCE.get(token.value)
+            if prec is None or prec < min_prec:
+                break
+            self.advance()
+            right = self.parse_expression(prec + 1)
+            left = A.Binary(token.value, left, right, token.line)
+        if min_prec == 1 and self.peek_op("?"):
+            line = self.advance().line
+            then = self.parse_expression()
+            self.expect("op", ":")
+            other = self.parse_expression()
+            return A.Ternary(left, then, other, line)
+        return left
+
+    def parse_unary(self) -> A.Expr:
+        token = self.tok
+        if token.kind == "op" and token.value in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            if token.value == "-" and isinstance(operand, A.Num):
+                return A.Num(-operand.value, token.line)
+            return A.Unary(token.value, operand, token.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> A.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("op", "["):
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = A.Index(expr, index, self.tok.line)
+            elif self.accept("op", "."):
+                name = self.expect("ident").value
+                expr = A.Field(expr, name, arrow=False, line=self.tok.line)
+            elif self.accept("op", "->"):
+                name = self.expect("ident").value
+                expr = A.Field(expr, name, arrow=True, line=self.tok.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> A.Expr:
+        token = self.tok
+        if token.kind == "num":
+            self.advance()
+            return A.Num(int(token.value, 0), token.line)
+        if token.kind == "str":
+            self.advance()
+            return A.Str(token.value, token.line)
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args = []
+                if not self.peek_op(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return A.Call(token.value, args, token.line)
+            return A.Var(token.value, token.line)
+        if self.accept("op", "("):
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise CompileError("unexpected token %r" % token.value, token.line)
+
+
+def _normalize_array(type_: ArrayType) -> ArrayType:
+    """``int a[2][3]`` parses as (int[2])[3]; flip to row-major [2][3]."""
+    dims = []
+    base: Type = type_
+    while isinstance(base, ArrayType):
+        dims.append(base.count)
+        base = base.elem
+    result = base
+    for count in dims:
+        result = ArrayType(result, count)
+    return result
+
+
+def parse_source(source: str) -> A.ProgramAst:
+    """Parse mini-C *source* text into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,94 @@
+"""Lexer for mini-C, the source language of the SPEC-mimic workloads.
+
+Mini-C is the C subset the reproduction compiles with *naive debug
+compilation* (every non-``register`` variable lives in memory), matching
+how the paper's programs were compiled for debugging.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+
+class CompileError(Exception):
+    """Raised for any mini-C front-end or code-generation error."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__("line %d: %s" % (line, message) if line
+                         else message)
+        self.line = line
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    line: int
+
+
+KEYWORDS = {"int", "void", "if", "else", "while", "for", "return",
+            "break", "continue", "register", "struct", "do"}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<char>'(\\.|[^'\\])')
+  | (?P<string>"(\\.|[^"\\])*")
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>\+\+|--|\+=|-=|\*=|/=|%=|<<|>>|<=|>=|==|!=|&&|\|\||->|[-+*/%<>=!&|^~(){}\[\];,.?:])
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+""", re.VERBOSE | re.DOTALL)
+
+_CHAR_ESCAPES = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize mini-C *source*; raises CompileError on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("ws", "comment"):
+            line += text.count("\n")
+            continue
+        if kind == "bad":
+            raise CompileError("unexpected character %r" % text, line)
+        if kind == "ident" and text in KEYWORDS:
+            tokens.append(Token(text, text, line))
+        elif kind == "string":
+            tokens.append(Token("str", _unescape(text[1:-1]), line))
+        elif kind == "char":
+            body = text[1:-1]
+            if body.startswith("\\"):
+                value = _CHAR_ESCAPES.get(body[1])
+                if value is None:
+                    raise CompileError("bad escape %r" % text, line)
+            else:
+                value = ord(body)
+            tokens.append(Token("num", str(value), line))
+        else:
+            tokens.append(Token(kind, text, line))
+        line += text.count("\n")
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _unescape(body: str) -> str:
+    """Process escape sequences in a string literal body."""
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            code = _CHAR_ESCAPES.get(body[i + 1])
+            if code is None:
+                raise CompileError("bad escape \\%s in string"
+                                   % body[i + 1])
+            out.append(chr(code))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)

@@ -1,0 +1,128 @@
+"""Type model for mini-C: int, pointers, arrays, structs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.minic.lexer import CompileError
+
+WORD = 4
+
+
+class Type:
+    """Base class; every type knows its size in bytes."""
+
+    size = WORD
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_struct(self) -> bool:
+        return isinstance(self, StructType)
+
+    def is_scalar(self) -> bool:
+        return not (self.is_array() or self.is_struct())
+
+
+class IntType(Type):
+    size = WORD
+
+    def __repr__(self) -> str:
+        return "int"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IntType)
+
+    def __hash__(self) -> int:
+        return hash("int")
+
+
+INT = IntType()
+
+
+class PointerType(Type):
+    size = WORD
+
+    def __init__(self, base: Type):
+        self.base = base
+
+    def __repr__(self) -> str:
+        return "%r*" % self.base
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PointerType) and self.base == other.base
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.base))
+
+
+class ArrayType(Type):
+    def __init__(self, elem: Type, count: int):
+        self.elem = elem
+        self.count = count
+        self.size = elem.size * count
+
+    def __repr__(self) -> str:
+        return "%r[%d]" % (self.elem, self.count)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, ArrayType) and self.elem == other.elem
+                and self.count == other.count)
+
+    def __hash__(self) -> int:
+        return hash(("arr", self.elem, self.count))
+
+
+class StructType(Type):
+    """Struct with word-sized scalar or pointer fields."""
+
+    def __init__(self, name: str, fields: List[Tuple[str, Type]]):
+        self.name = name
+        self.fields = fields
+        self.offsets: Dict[str, int] = {}
+        offset = 0
+        for field_name, field_type in fields:
+            self.offsets[field_name] = offset
+            offset += field_type.size
+        self.size = offset
+
+    def field_type(self, name: str, line: int = 0) -> Type:
+        for field_name, field_type in self.fields:
+            if field_name == name:
+                return field_type
+        raise CompileError("struct %s has no field %r" % (self.name, name),
+                           line)
+
+    def field_offset(self, name: str, line: int = 0) -> int:
+        if name not in self.offsets:
+            raise CompileError("struct %s has no field %r"
+                               % (self.name, name), line)
+        return self.offsets[name]
+
+    def __repr__(self) -> str:
+        return "struct %s" % self.name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, StructType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+
+def element_type(t: Type, line: int = 0) -> Type:
+    """Element type for indexing/dereferencing *t*."""
+    if isinstance(t, ArrayType):
+        return t.elem
+    if isinstance(t, PointerType):
+        return t.base
+    raise CompileError("cannot index/deref non-pointer %r" % t, line)
+
+
+def decay(t: Type) -> Type:
+    """Array-to-pointer decay for rvalue contexts."""
+    if isinstance(t, ArrayType):
+        return PointerType(t.elem)
+    return t

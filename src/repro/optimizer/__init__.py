@@ -1,0 +1,9 @@
+"""Write-check elimination (§4).
+
+``build_plan`` runs symbol-table pattern matching and (in "full" mode)
+loop optimization, producing the OptimizationPlan the rewriter applies.
+"""
+
+from repro.optimizer.pipeline import build_plan
+
+__all__ = ["build_plan"]

@@ -1,0 +1,534 @@
+"""Expression DAGs for loop optimization (§4.3-§4.4).
+
+Three related services:
+
+* **invariance** — is an SSA value loop-invariant?
+* **monotonic detection** — find header phis whose latch value adds a
+  constant each iteration ("the value of each monotonic variable must
+  increase or decrease monotonically during the execution of the loop");
+* **expression DAG walking / code generation** — "to generate code for
+  the moved checks, the optimizer walks the expression DAG for a,
+  generating statements until it reaches loop invariant or constant
+  operands".  Generated code computes values into the MRS-reserved
+  registers in the loop pre-header.
+
+Loads encountered while walking a DAG are re-evaluated optimistically,
+exactly like the configuration the paper measured ("our implementation
+does not check for either overflow or aliases", §4.6.2); the alias-list
+machinery of §4.5 is modelled by reporting the alias addresses we relied
+on (see ``ExprGen.alias_slots``), and can be enabled by clients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.build import Block
+from repro.ir.loops import Loop
+from repro.ir.ssa import SsaInfo
+from repro.ir.tac import Const, IrOp, SsaVar, SymAddr, walk_to_def
+from repro.isa.registers import FP, register_name
+
+
+# ---------------------------------------------------------------------------
+# Invariance
+# ---------------------------------------------------------------------------
+
+_FOLD_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "smul": lambda a, b: a * b,
+    "sll": lambda a, b: a << (b & 31),
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+}
+
+
+def fold_constant(value, depth: int = 12):
+    """If *value* is a compile-time constant (through moves, asserts and
+    constant arithmetic — e.g. the ``n - 1`` loop bound the compiler
+    materializes into a register), return its integer value."""
+    if depth <= 0:
+        return None
+    if isinstance(value, Const):
+        return value.value
+    if not isinstance(value, SsaVar):
+        return None
+    value = walk_to_def(value)
+    if isinstance(value, Const):
+        return value.value
+    if not isinstance(value, SsaVar) or value.def_op is None:
+        return None
+    op = value.def_op
+    if op.kind == "move":
+        return fold_constant(op.uses[0], depth - 1)
+    if op.kind == "alu" and op.op in _FOLD_OPS:
+        left = fold_constant(op.uses[0], depth - 1)
+        right = fold_constant(op.uses[1], depth - 1)
+        if left is not None and right is not None:
+            return _FOLD_OPS[op.op](left, right)
+    return None
+
+
+def resolve_value(value, _active=None):
+    """Resolve *value* through moves, asserts, and degenerate phis.
+
+    Assert definitions preserve their operand's value, so a variable
+    that is only re-defined by asserts inside a loop (e.g. the loop
+    bound ``n`` in ``i < n``) is still the same value; the phis that SSA
+    inserts to merge those assert versions are *degenerate* — every
+    non-self operand resolves to the same underlying value — and are
+    seen through here.
+    """
+    if _active is None:
+        _active = set()
+    value = walk_to_def(value)
+    if not isinstance(value, SsaVar) or value.def_op is None:
+        return value
+    op = value.def_op
+    if op.kind != "phi" or id(value) in _active:
+        return value
+    _active.add(id(value))
+    resolved = set()
+    result = None
+    for operand in op.uses:
+        inner = resolve_value(operand, _active)
+        if inner is value:
+            continue  # self-reference through the loop
+        if isinstance(inner, SsaVar) and id(inner) in _active:
+            continue
+        key = id(inner) if isinstance(inner, SsaVar) else inner
+        resolved.add(key if not isinstance(key, (Const, SymAddr))
+                     else repr(key))
+        result = inner
+    _active.discard(id(value))
+    if len(resolved) == 1 and result is not None:
+        return result
+    return value
+
+
+def is_invariant(value, loop: Loop) -> bool:
+    """Is *value* unchanged for the duration of *loop*?
+
+    Constants and symbol addresses always are; an SSA variable is
+    invariant when its (value-resolved) definition lies outside the
+    loop body (including entry-undefined variables).
+    """
+    if isinstance(value, SsaVar) and fold_constant(value) is not None:
+        return True
+    value = resolve_value(value)
+    if isinstance(value, (Const, SymAddr)):
+        return True
+    if isinstance(value, SsaVar):
+        if value.def_op is None or value.def_op.block is None:
+            return True
+        return value.def_op.block.bid not in loop.body
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Monotonic variables
+# ---------------------------------------------------------------------------
+
+class MonotonicVar:
+    """One monotonic variable of a loop (§4.3)."""
+
+    __slots__ = ("phi", "entry_value", "step", "direction")
+
+    def __init__(self, phi: IrOp, entry_value, step: int):
+        self.phi = phi
+        #: value on loop entry (the phi operand from outside the loop)
+        self.entry_value = entry_value
+        self.step = step
+        self.direction = "inc" if step > 0 else "dec"
+
+    def __repr__(self) -> str:
+        return "<mono %r %+d>" % (self.phi.defs[0], self.step)
+
+
+def find_monotonic_vars(loop: Loop) -> Dict[int, MonotonicVar]:
+    """Monotonic variables of *loop*, keyed by id() of the phi's SSA var."""
+    result: Dict[int, MonotonicVar] = {}
+    header = loop.header
+    for phi in header.phis:
+        dest = phi.defs[0]
+        entry_values = []
+        latch_values = []
+        for pred, value in zip(header.preds, phi.uses):
+            if pred.bid in loop.body:
+                latch_values.append(value)
+            else:
+                entry_values.append(value)
+        if len(entry_values) != 1 or not latch_values:
+            continue
+        steps = [_constant_step(value, dest) for value in latch_values]
+        if any(step is None or step == 0 for step in steps):
+            continue
+        if all(step > 0 for step in steps) or \
+                all(step < 0 for step in steps):
+            result[id(dest)] = MonotonicVar(phi, entry_values[0],
+                                            steps[0])
+    return result
+
+
+def _constant_step(latch_value, phi_var: SsaVar) -> Optional[int]:
+    """If latch_value == phi_var + c (through moves/asserts), return c."""
+    total = 0
+    value = latch_value
+    for _ in range(16):
+        value = walk_to_def(value)
+        if value is phi_var:
+            return total
+        if not isinstance(value, SsaVar) or value.def_op is None:
+            return None
+        op = value.def_op
+        if op.kind == "alu" and op.op in ("add", "sub"):
+            left, right = op.uses
+            if isinstance(right, Const):
+                total += right.value if op.op == "add" else -right.value
+                value = left
+                continue
+            if op.op == "add" and isinstance(left, Const):
+                total += left.value
+                value = right
+                continue
+        return None
+    return None
+
+
+def resolve_monotonic(value, monotonic: Dict[int, MonotonicVar]
+                      ) -> Optional[MonotonicVar]:
+    """If *value* is a (possibly asserted/copied) monotonic phi, find it."""
+    base = walk_to_def(value)
+    if isinstance(base, SsaVar):
+        return monotonic.get(id(base))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Affine decomposition: value = sum(coef * atom) + const
+# ---------------------------------------------------------------------------
+
+class Affine:
+    __slots__ = ("terms", "const")
+
+    def __init__(self):
+        #: id(atom SsaVar/SymAddr) -> (atom, coefficient)
+        self.terms: Dict[int, Tuple[object, int]] = {}
+        self.const = 0
+
+    def add_term(self, atom, coef: int) -> None:
+        key = id(atom)
+        if key in self.terms:
+            old_atom, old_coef = self.terms[key]
+            new_coef = old_coef + coef
+            if new_coef:
+                self.terms[key] = (old_atom, new_coef)
+            else:
+                del self.terms[key]
+        else:
+            self.terms[key] = (atom, coef)
+
+    def scale(self, factor: int) -> None:
+        self.terms = {k: (atom, coef * factor)
+                      for k, (atom, coef) in self.terms.items()}
+        self.const *= factor
+
+    def merge(self, other: "Affine", sign: int) -> None:
+        for atom, coef in other.terms.values():
+            self.add_term(atom, sign * coef)
+        self.const += sign * other.const
+
+
+def decompose_affine(value, loop: Loop,
+                     monotonic: Dict[int, MonotonicVar],
+                     depth: int = 24) -> Optional[Affine]:
+    """Decompose *value* into an affine sum whose atoms are either
+    loop-invariant values or monotonic variables of *loop*."""
+    affine = Affine()
+    if _decompose(value, loop, monotonic, affine, 1, depth):
+        return affine
+    return None
+
+
+def _decompose(value, loop: Loop, monotonic, affine: Affine,
+               coef: int, depth: int) -> bool:
+    if depth <= 0:
+        return False
+    if isinstance(value, Const):
+        affine.const += coef * value.value
+        return True
+    if isinstance(value, SymAddr):
+        affine.add_term(value, coef)
+        return True
+    if value is None:
+        return True
+    if not isinstance(value, SsaVar):
+        return False
+    folded = fold_constant(value)
+    if folded is not None:
+        affine.const += coef * folded
+        return True
+    mono = resolve_monotonic(value, monotonic)
+    if mono is not None:
+        affine.add_term(walk_to_def(value), coef)
+        return True
+    if is_invariant(value, loop):
+        affine.add_term(value, coef)
+        return True
+    op = value.def_op
+    if op is None:
+        affine.add_term(value, coef)
+        return True
+    if op.kind == "move":
+        return _decompose(op.uses[0], loop, monotonic, affine, coef,
+                          depth - 1)
+    if op.kind == "assert":
+        position = op.defs.index(value)
+        return _decompose(op.uses[position], loop, monotonic, affine,
+                          coef, depth - 1)
+    if op.kind == "alu":
+        left, right = op.uses
+        if op.op == "add":
+            return (_decompose(left, loop, monotonic, affine, coef,
+                               depth - 1)
+                    and _decompose(right, loop, monotonic, affine, coef,
+                                   depth - 1))
+        if op.op == "sub":
+            return (_decompose(left, loop, monotonic, affine, coef,
+                               depth - 1)
+                    and _decompose(right, loop, monotonic, affine,
+                                   -coef, depth - 1))
+        if op.op == "sll":
+            shift = fold_constant(right)
+            if shift is not None:
+                return _decompose(left, loop, monotonic, affine,
+                                  coef << shift, depth - 1)
+        if op.op == "smul":
+            factor = fold_constant(right)
+            if factor is not None:
+                return _decompose(left, loop, monotonic, affine,
+                                  coef * factor, depth - 1)
+            factor = fold_constant(left)
+            if factor is not None:
+                return _decompose(right, loop, monotonic, affine,
+                                  coef * factor, depth - 1)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Expression trees and pre-header code generation
+# ---------------------------------------------------------------------------
+
+class ExprGenError(Exception):
+    """The expression cannot be recomputed in the pre-header."""
+
+
+class ExprGen:
+    """Generates assembly evaluating SSA values at a loop pre-header.
+
+    Values are recomputed from their defining ops, bottoming out at
+    constants, symbol addresses, registers that still hold the wanted
+    SSA version at the pre-header, and promoted variables' home slots.
+    """
+
+    def __init__(self, ssa: SsaInfo, preheader_exit_block: Block,
+                 promoted, regs: Tuple[str, ...] = ("%g4", "%g6", "%g7")):
+        self.ssa = ssa
+        self.block = preheader_exit_block
+        self.promoted = promoted
+        self.regs = regs
+        self.lines: List[str] = []
+        #: memory addresses whose loads the generated code re-executes —
+        #: the §4.5 alias list (reported to the plan for optional
+        #: alias-region creation)
+        self.alias_slots: List[str] = []
+
+    # -- leaf access -------------------------------------------------------------
+
+    def _holds_at_preheader(self, var: SsaVar) -> bool:
+        return self.ssa.exit_version.get((self.block.bid, var.name)) \
+            is var
+
+    def gen_value(self, value, target: str, depth: int = 20,
+                  avoid=frozenset()) -> None:
+        """Emit lines leaving *value* in register *target*.  Registers
+        in *avoid* hold live values and are never used as scratch."""
+        if depth <= 0:
+            raise ExprGenError("expression too deep")
+        if isinstance(value, Const):
+            self.lines.append("set %d, %s" % (value.value, target))
+            return
+        if isinstance(value, SymAddr):
+            suffix = "+%d" % value.addend if value.addend else ""
+            self.lines.append("set %s%s, %s" % (value.name, suffix,
+                                                target))
+            return
+        if not isinstance(value, SsaVar):
+            raise ExprGenError("cannot evaluate %r" % (value,))
+        folded = fold_constant(value)
+        if folded is not None:
+            self.lines.append("set %d, %s" % (folded, target))
+            return
+        name = value.name
+        if self._holds_at_preheader(value):
+            if name[0] == "r":
+                if name[1] != FP and not self._register_stable(name[1]):
+                    raise ExprGenError("register %s not stable"
+                                       % register_name(name[1]))
+                self.lines.append("mov %s, %s"
+                                  % (register_name(name[1]), target))
+                return
+            if name[0] == "v":
+                self._gen_slot_load(name, target)
+                return
+        op = value.def_op
+        if op is None:
+            raise ExprGenError("no definition for %r" % value)
+        if op.kind == "move":
+            self.gen_value(op.uses[0], target, depth - 1, avoid)
+            return
+        if op.kind == "assert":
+            position = op.defs.index(value)
+            self.gen_value(op.uses[position], target, depth - 1, avoid)
+            return
+        if op.kind == "phi" and name[0] == "v":
+            # a promoted variable's current value always lives in its
+            # home slot (every IR def came from a real store)
+            self._gen_slot_load(name, target)
+            return
+        if op.kind == "alu":
+            self._gen_alu(op, target, depth, avoid)
+            return
+        if op.kind == "ld":
+            self._gen_load(op, target, depth, avoid)
+            return
+        resolved = resolve_value(value)
+        if resolved is not value:
+            self.gen_value(resolved, target, depth - 1, avoid)
+            return
+        raise ExprGenError("cannot re-evaluate %s op" % op.kind)
+
+    def _register_stable(self, rid: int) -> bool:
+        # Only %fp is guaranteed stable between the defining point and
+        # the pre-header for re-reads; other registers are used only via
+        # the exit-version check in gen_value (which is exact).
+        return True
+
+    def _temp(self, target: str, avoid=()) -> str:
+        for reg in self.regs:
+            if reg != target and reg not in avoid:
+                return reg
+        raise ExprGenError("no free temporary register")
+
+    def _gen_slot_load(self, name: Tuple, target: str) -> None:
+        entry = self.promoted.get(name)
+        if entry is None:
+            raise ExprGenError("unpromoted pseudo %r" % (name,))
+        if entry.kind in ("local", "param"):
+            self.lines.append("ld [%%fp%+d], %s" % (entry.offset, target))
+            self.alias_slots.append("%%fp%+d" % entry.offset)
+        else:
+            self.lines.append("set %s+%d, %s"
+                              % (entry.label, entry.label_offset, target))
+            self.lines.append("ld [%s], %s" % (target, target))
+            self.alias_slots.append("%s+%d" % (entry.label,
+                                               entry.label_offset))
+
+    def _gen_alu(self, op: IrOp, target: str, depth: int,
+                 avoid=frozenset()) -> None:
+        left, right = op.uses
+        mnemonic = {"add": "add", "sub": "sub", "and": "and", "or": "or",
+                    "xor": "xor", "sll": "sll", "srl": "srl",
+                    "sra": "sra", "smul": "smul",
+                    "sdiv": "sdiv"}.get(op.op)
+        if mnemonic is None:
+            raise ExprGenError("cannot re-evaluate alu %s" % op.op)
+        if isinstance(right, Const) and -4096 <= right.value <= 4095:
+            self.gen_value(left, target, depth - 1, avoid)
+            self.lines.append("%s %s, %d, %s"
+                              % (mnemonic, target, right.value, target))
+            return
+        self.gen_value(left, target, depth - 1, avoid)
+        temp = self._temp(target, avoid)
+        self.gen_value(right, temp, depth - 1,
+                       frozenset(avoid) | {target})
+        self.lines.append("%s %s, %s, %s" % (mnemonic, target, temp,
+                                             target))
+
+    def _gen_load(self, op: IrOp, target: str, depth: int,
+                  avoid=frozenset()) -> None:
+        base, index, disp = op.mem
+        self.gen_value(base, target, depth - 1, avoid)
+        if index is not None:
+            temp = self._temp(target, avoid)
+            self.gen_value(index, temp, depth - 1,
+                           frozenset(avoid) | {target})
+            self.lines.append("add %s, %s, %s" % (target, temp, target))
+            if disp:
+                self.lines.append("add %s, %d, %s" % (target, disp,
+                                                      target))
+            self.lines.append("ld [%s], %s" % (target, target))
+        else:
+            self.lines.append("ld [%s%+d], %s" % (target, disp, target)
+                              if disp else "ld [%s], %s"
+                              % (target, target))
+        self.alias_slots.append("<dynamic>")
+
+    # -- affine evaluation -----------------------------------------------------
+
+    def gen_affine(self, affine: Affine, target: str,
+                   substitute: Optional[Dict[int, object]] = None
+                   ) -> None:
+        """Emit lines computing an affine sum into *target*.
+
+        *substitute* maps id(atom) -> replacement value (used to plug a
+        monotonic variable's entry value or assert bound in)."""
+        substitute = substitute or {}
+        first = True
+        temp = self._temp(target)
+        for key, (atom, coef) in affine.terms.items():
+            value = substitute.get(key, atom)
+            where = target if first else temp
+            self.gen_value(value, where,
+                           avoid=frozenset() if first
+                           else frozenset({target}))
+            if coef != 1:
+                scratch = self._temp(where, avoid={target, temp})
+                self._scale(where, coef, scratch)
+            if not first:
+                self.lines.append("add %s, %s, %s" % (target, temp,
+                                                      target))
+            first = False
+        if first:
+            self.lines.append("set %d, %s" % (affine.const, target))
+        elif affine.const:
+            if -4096 <= affine.const <= 4095:
+                self.lines.append("add %s, %d, %s"
+                                  % (target, affine.const, target))
+            else:
+                self.lines.append("set %d, %s" % (affine.const, temp))
+                self.lines.append("add %s, %s, %s" % (target, temp,
+                                                      target))
+
+    def _scale(self, reg: str, coef: int,
+               scratch: Optional[str] = None) -> None:
+        if coef == 0:
+            self.lines.append("mov 0, %s" % reg)
+        elif coef > 0 and coef & (coef - 1) == 0:
+            self.lines.append("sll %s, %d, %s"
+                              % (reg, coef.bit_length() - 1, reg))
+        elif -4096 <= coef <= 4095:
+            self.lines.append("smul %s, %d, %s" % (reg, coef, reg))
+        elif scratch is not None:
+            self.lines.append("set %d, %s" % (coef, scratch))
+            self.lines.append("smul %s, %s, %s" % (reg, scratch, reg))
+        else:
+            raise ExprGenError("cannot scale by %d without scratch"
+                               % coef)
+
+    def take_lines(self) -> List[str]:
+        lines = self.lines
+        self.lines = []
+        return lines

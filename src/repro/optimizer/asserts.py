@@ -1,0 +1,132 @@
+"""Assert definitions (§4.3.1).
+
+"The post-processor converts the SPARC condition code and conditional
+branch instructions into IR assert statements": for a conditional
+branch whose condition codes come from a compare, each successor block
+(when it has a unique predecessor) learns a relation between the
+compared operands.  The assert re-defines both operands, so SSA
+renaming gives each a fresh version whose bounds can be refined —
+"the purpose of this re-definition is to determine precisely, for each
+use of a variable, the symbolic lower and upper bounds of the value of
+the variable".
+
+Must run *before* SSA conversion.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.build import CC, FuncIr, negate_relation
+from repro.ir.tac import Const, IrOp, SymAddr
+
+#: relations refined by asserts (signed compares only)
+_USEFUL = {"lt", "le", "gt", "ge", "eq", "ne"}
+
+
+def insert_asserts(func: FuncIr) -> int:
+    """Insert assert ops; returns how many were inserted."""
+    inserted = 0
+    for block in func.blocks:
+        if not block.ops:
+            continue
+        last = block.ops[-1]
+        if last.kind != "branch":
+            continue
+        relation = last.relation
+        if relation not in _USEFUL:
+            continue
+        operands = _find_cmp_operands(block)
+        if operands is None:
+            continue
+        last.mem = operands
+        left, right = operands
+        if len(block.succs) < 2:
+            continue
+        taken, fallthrough = block.succs[0], block.succs[1]
+        if taken is not fallthrough:
+            _place(taken, block, relation, left, right)
+            _place(fallthrough, block, negate_relation(relation), left,
+                   right)
+            inserted += 1
+    return inserted
+
+
+def _place(succ, pred, relation: str, left, right) -> None:
+    # the relation only holds on entry via this edge, so the target must
+    # have no other predecessors
+    if len(succ.preds) != 1 or succ.preds[0] is not pred:
+        return
+    defs: List = []
+    uses: List = []
+    for operand in (left, right):
+        if isinstance(operand, tuple):
+            defs.append(operand)
+            uses.append(operand)
+        else:
+            defs.append(None)
+            uses.append(operand)
+    # drop None placeholders but keep positional pairing via parallel lists
+    real_defs = [d for d in defs if d is not None]
+    if not real_defs:
+        return
+    op = IrOp("assert", list(defs), list(uses),
+              succ.header_stmt_index, relation=relation)
+    op.block = succ
+    # remove None defs (constants are not re-defined) while keeping the
+    # def/use positional correspondence used by walk_to_def
+    keep = [index for index, d in enumerate(defs) if d is not None]
+    op.defs = [defs[i] for i in keep]
+    op.uses = [uses[i] for i in keep]
+    #: mem records the full relation (left, right) including constants
+    op.mem = (left, right)
+    succ.ops.insert(0, op)
+
+
+def _find_cmp_operands(block):
+    """Locate the compare feeding this block's terminating branch and
+    trace its operands through in-block copies.
+
+    Runs after symbol promotion, so a compare of a freshly loaded
+    promoted variable asserts on the *pseudo-variable* itself — every
+    later use of the variable in the loop body then sees the refined
+    bounds (the payoff of §4.2's pseudo-operand substitution).
+    """
+    for position in range(len(block.ops) - 1, -1, -1):
+        op = block.ops[position]
+        if CC not in op.defs:
+            continue
+        is_cmp = (op.kind == "alu" and op.op == "sub" and
+                  not any(d != CC and isinstance(d, tuple) and
+                          d[0] == "r" and d[1] != 0 for d in op.defs))
+        if not is_cmp:
+            return None
+        left = _trace_copy(block, position, op.uses[0])
+        right = _trace_copy(block, position, op.uses[1])
+        return (left, right)
+    return None
+
+
+def _trace_copy(block, cmp_position, value):
+    """Pre-SSA, in-block copy tracing with redefinition barriers."""
+    if not isinstance(value, tuple):
+        return value
+    current = value
+    barrier = cmp_position
+    for position in range(cmp_position - 1, -1, -1):
+        op = block.ops[position]
+        if current not in op.defs:
+            continue
+        if op.kind != "move" or not isinstance(
+                op.uses[0], (tuple, Const, SymAddr)):
+            return current
+        source = op.uses[0]
+        if isinstance(source, (Const, SymAddr)):
+            return source
+        redefined = any(source in block.ops[mid].defs
+                        for mid in range(position + 1, barrier))
+        if redefined:
+            return current
+        current = source
+        barrier = position
+    return current

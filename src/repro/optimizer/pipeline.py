@@ -1,0 +1,116 @@
+"""Optimizer driver: assembly statements -> OptimizationPlan (§4).
+
+Modes:
+
+* ``"sym"``  — symbol-table pattern matching only (Table 2's "Sym"):
+  known writes run unchecked (re-inserted by ``PreMonitor``), at the
+  cost of %fp-definition and indirect-jump verification;
+* ``"full"`` — symbol matching plus loop optimization (Table 2's
+  "Full"): loop-invariant check motion and monotonic range checks.
+
+The plan is consumed by :class:`repro.instrument.rewriter.Rewriter`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.asm.ast import Statement
+from repro.asm.parser import parse
+from repro.core.layout import DEFAULT_LAYOUT, MonitorLayout
+from repro.instrument.plan import ELIM_SYMBOL, OptimizationPlan
+from repro.instrument.rewriter import _find_lang
+from repro.instrument.writes import enumerate_write_sites
+from repro.ir.build import apply_promotion, build_ir
+from repro.ir.loops import find_loops
+from repro.ir.ssa import convert_to_ssa
+from repro.optimizer.asserts import insert_asserts
+from repro.optimizer.loopopt import LoopOptimizer
+from repro.optimizer.symbols import collect_static_symbols
+
+
+def build_plan(statements_or_source, mode: str = "full",
+               layout: Optional[MonitorLayout] = None,
+               optimistic_loads: bool = True,
+               guard_aliases: bool = False,
+               guard_overflow: bool = False
+               ) -> Tuple[List[Statement], OptimizationPlan]:
+    """Analyze a program and build its optimization plan.
+
+    Returns ``(statements, plan)`` — the statements must be passed on to
+    the rewriter unchanged (write-site numbering is shared through
+    them).
+    """
+    if mode not in ("sym", "full"):
+        raise ValueError("mode must be 'sym' or 'full', got %r" % mode)
+    if isinstance(statements_or_source, str):
+        statements = parse(statements_or_source)
+    else:
+        statements = statements_or_source
+    layout = layout if layout is not None else DEFAULT_LAYOUT
+    lang = _find_lang(statements)
+
+    enumerate_write_sites(statements, lang)  # stamps stmt.site
+    symbols = collect_static_symbols(statements)
+    funcs, escaped_labels = build_ir(statements, symbols)
+
+    plan = OptimizationPlan()
+    plan.reserved_registers = 5 if mode == "full" else 4
+
+    # -- §4.2 symbol-table pattern matching ------------------------------
+    for func in funcs:
+        for access in func.accesses:
+            if access.kind != "st" or not access.covering:
+                continue
+            site = access.op.site
+            if site is None:
+                continue
+            plan.merge_site(site, ELIM_SYMBOL)
+            for entry in access.covering:
+                key = (entry.func or "", entry.name)
+                sites = plan.symbol_sites.setdefault(key, [])
+                if site not in sites:
+                    sites.append(site)
+
+    # the supporting obligations: verify %fp definitions and indirect
+    # jumps so the control-flow assumptions of the analysis hold
+    for func in funcs:
+        if func.save_stmt_index >= 0:
+            plan.fp_push_indices.append(func.save_stmt_index)
+        for ret_index in func.ret_stmt_indices:
+            plan.fp_check_indices.append(ret_index)
+            plan.jmp_check_indices.append(ret_index)
+
+    # -- §4.3/§4.4 loop optimization ---------------------------------------
+    if mode == "full":
+        plan.promoted = apply_promotion(funcs, escaped_labels)
+        next_loop_id = 0
+        for func in funcs:
+            insert_asserts(func)
+            ssa = convert_to_ssa(func)
+            if not ssa.order:
+                continue
+            loops = find_loops(func, ssa.order)
+            optimizer = LoopOptimizer(func, ssa, layout, plan,
+                                      statements, next_loop_id,
+                                      optimistic_loads, guard_aliases,
+                                      guard_overflow)
+            next_loop_id = optimizer.optimize(loops)
+
+    return statements, plan
+
+
+def optimize_and_instrument(asm_source: str, mode: str = "full",
+                            strategy: str = "BitmapInlineRegisters",
+                            layout: Optional[MonitorLayout] = None,
+                            optimistic_loads: bool = True):
+    """Convenience: build a plan and an InstrumentResult in one step."""
+    from repro.instrument.rewriter import Rewriter
+    from repro.instrument.strategies import make_strategy
+
+    statements, plan = build_plan(asm_source, mode, layout,
+                                  optimistic_loads)
+    lang = _find_lang(statements)
+    strat = make_strategy(strategy, layout)
+    rewriter = Rewriter(strat, plan)
+    return rewriter.rewrite(statements, lang)

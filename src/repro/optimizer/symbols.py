@@ -1,0 +1,135 @@
+"""Symbol-table pattern matching support (§4.2).
+
+Collects the ``.stabs`` debugging records *before assembly* (the
+optimizer runs between compiler and assembler, so data addresses are
+still symbolic) and answers the question pattern matching asks: does
+this address expression — ``%fp + c`` or ``data_label + c`` — fall
+inside a known variable?
+
+A *known write* (exact static target inside some variable's storage)
+can run unchecked: the MRS re-inserts its check with ``PreMonitor``
+when any symbol covering that address is monitored, and aliased writes
+through pointers are still caught by the ordinary checks against the
+bitmap (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.asm.ast import Directive, Reg, Statement, Sym
+
+
+class StaticSym(NamedTuple):
+    """One pre-assembly symbol: frame-relative or data-label-relative."""
+
+    name: str
+    kind: str                 # local | param | global | register
+    func: Optional[str]       # scope, None for globals
+    offset: int               # %fp offset (local/param)
+    label: str                # data label (global)
+    label_offset: int         # offset within the label (field stabs)
+    size: int
+    elem: Optional[int]
+
+    def is_scalar(self) -> bool:
+        return self.size == 4 and self.elem is None
+
+
+class StaticSymbols:
+    """All ``.stabs`` records of a statement list, pre-assembly."""
+
+    def __init__(self):
+        #: function -> its local/param entries
+        self.locals: Dict[str, List[StaticSym]] = {}
+        #: data label -> global entries anchored there
+        self.globals_by_label: Dict[str, List[StaticSym]] = {}
+        #: (func|None, name) -> entry
+        self.by_name: Dict[Tuple[Optional[str], str], StaticSym] = {}
+        #: functions whose locals may be aliased (address escapes)
+        self.register_vars: Dict[str, List[str]] = {}
+
+    def add(self, entry: StaticSym) -> None:
+        if entry.kind in ("local", "param"):
+            self.locals.setdefault(entry.func or "", []).append(entry)
+        elif entry.kind == "global":
+            self.globals_by_label.setdefault(entry.label, []).append(entry)
+        self.by_name[(entry.func, entry.name)] = entry
+
+    # -- pattern matching ------------------------------------------------------
+
+    def locals_covering(self, func: str, offset: int,
+                        width: int) -> List[StaticSym]:
+        """Entries of *func* whose storage covers [offset, offset+width)."""
+        found = []
+        for entry in self.locals.get(func, ()):
+            if entry.offset <= offset and \
+                    offset + width <= entry.offset + entry.size:
+                found.append(entry)
+        return found
+
+    def globals_covering(self, label: str, offset: int,
+                         width: int) -> List[StaticSym]:
+        found = []
+        for entry in self.globals_by_label.get(label, ()):
+            if entry.label_offset <= offset and \
+                    offset + width <= entry.label_offset + entry.size:
+                found.append(entry)
+        return found
+
+    def exact_local_scalar(self, func: str,
+                           offset: int) -> Optional[StaticSym]:
+        for entry in self.locals.get(func, ()):
+            if entry.offset == offset and entry.is_scalar():
+                return entry
+        return None
+
+    def exact_global_scalar(self, label: str,
+                            offset: int) -> Optional[StaticSym]:
+        for entry in self.globals_by_label.get(label, ()):
+            if entry.label_offset == offset and entry.is_scalar():
+                return entry
+        return None
+
+
+def collect_static_symbols(statements: List[Statement]) -> StaticSymbols:
+    """Scan ``.proc``/``.stabs`` directives into a StaticSymbols table."""
+    symbols = StaticSymbols()
+    func: Optional[str] = None
+    for stmt in statements:
+        if not isinstance(stmt, Directive):
+            continue
+        if stmt.name == "proc":
+            arg = stmt.args[0]
+            func = arg.name if isinstance(arg, Sym) else str(arg)
+        elif stmt.name == "endproc":
+            func = None
+        elif stmt.name == "stabs":
+            entry = _parse_stab(stmt, func)
+            if entry is not None:
+                symbols.add(entry)
+    return symbols
+
+
+def _parse_stab(stmt: Directive, func: Optional[str]
+                ) -> Optional[StaticSym]:
+    args = stmt.args
+    name = str(args[0])
+    kind = args[1].name if isinstance(args[1], Sym) else str(args[1])
+    if kind in ("local", "param"):
+        offset = int(args[2])
+        size = int(args[3])
+        elem = int(args[4]) if len(args) > 4 else None
+        return StaticSym(name, kind, func, offset, "", 0, size, elem)
+    if kind == "global":
+        sym = args[2]
+        if not isinstance(sym, Sym):
+            return None
+        size = int(args[3])
+        elem = int(args[4]) if len(args) > 4 else None
+        return StaticSym(name, "global", None, 0, sym.name, sym.addend,
+                         size, elem)
+    if kind == "register":
+        if isinstance(args[2], Reg):
+            return StaticSym(name, "register", func, 0, "", 0, 4, None)
+    return None

@@ -1,0 +1,81 @@
+"""High-level pipeline: mini-C (or assembly) -> instrumented debuggee.
+
+`DebugSession` wires the whole stack together: compile, instrument with
+a write-check strategy (and optionally a §4 optimization plan), assemble,
+load, and attach a :class:`~repro.core.service.MonitoredRegionService`.
+This is the main entry point for examples, tests and the evaluation
+harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.asm.assembler import Program, assemble
+from repro.asm.loader import LoadedProgram, load_program
+from repro.core.layout import MonitorLayout
+from repro.core.service import MonitoredRegionService
+from repro.instrument.plan import OptimizationPlan
+from repro.instrument.rewriter import InstrumentResult, instrument_source
+from repro.machine.cache import DEFAULT_CACHE_BYTES
+from repro.machine.costs import CostModel, DEFAULT_COSTS
+from repro.minic.codegen import compile_source
+
+
+class DebugSession:
+    """One debuggee instrumented for data breakpoints."""
+
+    def __init__(self, inst: InstrumentResult, loaded: LoadedProgram,
+                 mrs: MonitoredRegionService):
+        self.inst = inst
+        self.loaded = loaded
+        self.mrs = mrs
+        self.cpu = loaded.cpu
+        self.program = loaded.program
+
+    @classmethod
+    def from_asm(cls, asm_source: str, strategy="Bitmap",
+                 layout: Optional[MonitorLayout] = None,
+                 plan: Optional[OptimizationPlan] = None,
+                 costs: CostModel = DEFAULT_COSTS,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES,
+                 record_writes: bool = False,
+                 monitor_reads: bool = False,
+                 mrs_class=MonitoredRegionService) -> "DebugSession":
+        inst = instrument_source(asm_source, strategy, layout, plan,
+                                 monitor_reads)
+        program = inst.assemble()
+        loaded = load_program(program, cache_bytes=cache_bytes, costs=costs,
+                              record_writes=record_writes)
+        mrs = mrs_class(loaded, inst)
+        return cls(inst, loaded, mrs)
+
+    @classmethod
+    def from_minic(cls, c_source: str, lang: str = "C", **kwargs
+                   ) -> "DebugSession":
+        return cls.from_asm(compile_source(c_source, lang=lang), **kwargs)
+
+    def run(self, max_instructions: int = 400_000_000) -> int:
+        return self.loaded.run(max_instructions=max_instructions)
+
+    @property
+    def output(self) -> List[str]:
+        return self.loaded.output
+
+    def symbol(self, name: str, func: Optional[str] = None):
+        return self.program.symtab.lookup(name, func)
+
+
+def run_uninstrumented(asm_source: str,
+                       costs: CostModel = DEFAULT_COSTS,
+                       cache_bytes: int = DEFAULT_CACHE_BYTES,
+                       record_writes: bool = False,
+                       max_instructions: int = 400_000_000
+                       ) -> Tuple[int, LoadedProgram]:
+    """Assemble and run *asm_source* without any checks (the baseline
+    against which Table 1 / Table 2 overheads are computed)."""
+    program = assemble(asm_source)
+    loaded = load_program(program, cache_bytes=cache_bytes, costs=costs,
+                          record_writes=record_writes)
+    exit_code = loaded.run(max_instructions=max_instructions)
+    return exit_code, loaded

@@ -1,0 +1,44 @@
+"""SPEC89-mimic workload registry.
+
+Ten mini-C programs mirroring the write behaviour of the paper's
+benchmarks (four C, six FORTRAN-style).  Access them through
+:data:`WORKLOADS` or :func:`get_workload`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads import (doduc, eqntott, espresso, fpppp, gcc, li,
+                             matrix300, nasker, spice, tomcatv)
+from repro.workloads.common import Workload
+
+_MODULES = [eqntott, espresso, gcc, li, doduc, fpppp, matrix300, nasker,
+            spice, tomcatv]
+
+WORKLOADS: Dict[str, Workload] = {}
+for _mod in _MODULES:
+    WORKLOADS[_mod.NAME] = Workload(
+        name=_mod.NAME, lang=_mod.LANG, source_fn=_mod.source,
+        description=_mod.DESCRIPTION, expected_output=[])
+
+#: Table ordering used throughout the paper: C programs then FORTRAN.
+WORKLOAD_ORDER: List[str] = [
+    "023.eqntott", "008.espresso", "001.gcc1.35", "022.li",
+    "015.doduc", "042.fpppp", "030.matrix300", "020.nasker",
+    "013.spice2g6", "047.tomcatv",
+]
+
+C_WORKLOADS = [n for n in WORKLOAD_ORDER if WORKLOADS[n].lang == "C"]
+F_WORKLOADS = [n for n in WORKLOAD_ORDER if WORKLOADS[n].lang == "F"]
+
+
+def get_workload(name: str) -> Workload:
+    if name not in WORKLOADS:
+        raise KeyError("unknown workload %r (have %s)"
+                       % (name, WORKLOAD_ORDER))
+    return WORKLOADS[name]
+
+
+def workload_source(name: str, scale: float = 1.0) -> str:
+    return get_workload(name).source_fn(scale)

@@ -1,0 +1,74 @@
+"""Shared pieces for the SPEC-mimic workloads.
+
+Each workload is a mini-C program whose *write behaviour* (dynamic write
+density, stack/heap/BSS mix, loop structure, use of ``register``)
+mimics one SPEC89 program from the paper's Table 1/2.  Real SPEC
+sources and inputs are not redistributable and would be far too large to
+simulate; DESIGN.md records this substitution.
+
+Workloads print a checksum so tests can verify that instrumentation
+preserves behaviour exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple
+
+#: deterministic LCG used by workloads that need pseudo-random data
+RAND_SOURCE = """
+int __seed;
+
+int rnd(int limit) {
+    __seed = __seed * 1103515245 + 12345;
+    __seed = __seed & 1073741823;
+    return __seed % limit;
+}
+"""
+
+#: simple first-fit allocator over sbrk(), used by the pointer-heavy
+#: C workloads (gcc, li).  Block layout: [size_words, next, payload...].
+MALLOC_SOURCE = """
+int *__free_list;
+
+int *alloc_words(int n) {
+    int *p;
+    int *prev;
+    prev = 0;
+    p = __free_list;
+    while (p != 0) {
+        if (p[0] >= n) {
+            if (prev != 0) { prev[1] = p[1]; }
+            else { __free_list = p[1]; }
+            return p + 2;
+        }
+        prev = p;
+        p = p[1];
+    }
+    p = sbrk((n + 2) * 4);
+    p[0] = n;
+    p[1] = 0;
+    return p + 2;
+}
+
+int free_words(int *q) {
+    int *p;
+    p = q - 2;
+    p[1] = __free_list;
+    __free_list = p;
+    return 0;
+}
+"""
+
+
+class Workload(NamedTuple):
+    """One registered workload."""
+
+    name: str              # paper benchmark name, e.g. "023.eqntott"
+    lang: str              # "C" or "F"
+    source_fn: Callable[[float], str]
+    description: str
+    expected_output: List[str]  # checksum lines at scale=1.0
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))

@@ -1,0 +1,77 @@
+"""023.eqntott mimic: truth-table term sorting.
+
+The real eqntott spends nearly all its time in ``cmppt``, comparing
+bit-vector terms held in registers; dynamic writes are rare (an
+occasional swap).  The paper measured essentially zero overhead for it
+(Table 1) and 71.9% symbol elimination (Table 2).  This mimic performs a
+selection sort over fixed-width terms where comparison loops are
+register-only and writes happen only on swaps.
+"""
+
+from repro.workloads.common import RAND_SOURCE, scaled
+
+NAME = "023.eqntott"
+LANG = "C"
+DESCRIPTION = "bit-vector term sort; compare-dominant, write-starved"
+
+_TEMPLATE = RAND_SOURCE + """
+int terms[{nwords}];
+
+int cmppt(register int a, register int b) {
+    register int i;
+    i = 0;
+    while (i < {width}) {
+        if (terms[a * {width} + i] < terms[b * {width} + i]) return -1;
+        if (terms[a * {width} + i] > terms[b * {width} + i]) return 1;
+        i = i + 1;
+    }
+    return 0;
+}
+
+int swap(int a, int b) {
+    register int i;
+    int t;
+    for (i = 0; i < {width}; i = i + 1) {
+        t = terms[a * {width} + i];
+        terms[a * {width} + i] = terms[b * {width} + i];
+        terms[b * {width} + i] = t;
+    }
+    return 0;
+}
+
+int main() {
+    register int i;
+    register int j;
+    register int best;
+    int sum;
+    __seed = 12345;
+    for (i = 0; i < {nwords}; i = i + 1) {
+        terms[i] = rnd(64);
+    }
+    for (i = 0; i < {nterms} - 1; i = i + 1) {
+        best = i;
+        for (j = i + 1; j < {nterms}; j = j + 1) {
+            if (cmppt(j, best) < 0) {
+                best = j;
+            }
+        }
+        if (best != i) {
+            swap(i, best);
+        }
+    }
+    sum = 0;
+    for (i = 0; i < {nterms}; i = i + 1) {
+        sum = sum * 3 + terms[i * {width}];
+    }
+    print(sum);
+    return 0;
+}
+"""
+
+
+def source(scale: float = 1.0) -> str:
+    nterms = scaled(44, scale, minimum=6)
+    width = 4
+    return (_TEMPLATE.replace("{nwords}", str(nterms * width))
+            .replace("{nterms}", str(nterms))
+            .replace("{width}", str(width)))

@@ -1,0 +1,116 @@
+"""001.gcc (1.35) mimic: tree building, folding and list bookkeeping.
+
+GCC allocates expression trees, folds constants, and threads symbol
+lists — irregular pointer-chasing code with many small functions and
+heavy ``register`` usage.  The paper found it among the *worst* cases
+for write-check elimination (52.1% total) because register declarations
+leave few memory writes that symbol matching can claim, and its
+overhead with full optimization exceeded simple bitmap checking.
+"""
+
+from repro.workloads.common import MALLOC_SOURCE, RAND_SOURCE, scaled
+
+NAME = "001.gcc1.35"
+LANG = "C"
+DESCRIPTION = "expression-tree construction and constant folding"
+
+_TEMPLATE = RAND_SOURCE + MALLOC_SOURCE + """
+struct node { int op; int value; int left; int right; };
+
+int node_count;
+
+int *mk_leaf(int v) {
+    register int *n;
+    n = alloc_words(4);
+    n[0] = 0;
+    n[1] = v;
+    n[2] = 0;
+    n[3] = 0;
+    node_count = node_count + 1;
+    return n;
+}
+
+int *mk_op(int op, int *l, int *r) {
+    register int *n;
+    n = alloc_words(4);
+    n[0] = op;
+    n[1] = 0;
+    n[2] = l;
+    n[3] = r;
+    node_count = node_count + 1;
+    return n;
+}
+
+int *build(register int depth) {
+    register int op;
+    int *l;
+    int *r;
+    if (depth <= 0) {
+        return mk_leaf(rnd(100) - 50);
+    }
+    op = 1 + rnd(3);
+    l = build(depth - 1);
+    r = build(depth - 1);
+    return mk_op(op, l, r);
+}
+
+int eval(int *n) {
+    register int a;
+    register int b;
+    register int op;
+    op = n[0];
+    if (op == 0) return n[1];
+    a = eval(n[2]);
+    b = eval(n[3]);
+    if (op == 1) return a + b;
+    if (op == 2) return a - b;
+    return a * b;
+}
+
+int fold(int *n) {
+    register int op;
+    int *a;
+    int *b;
+    op = n[0];
+    if (op == 0) return 0;
+    fold(n[2]);
+    fold(n[3]);
+    a = n[2];
+    b = n[3];
+    if (*(a + 0) == 0 && *(b + 0) == 0) {
+        n[0] = 0;
+        if (op == 1) { n[1] = *(a + 1) + *(b + 1); }
+        if (op == 2) { n[1] = *(a + 1) - *(b + 1); }
+        if (op == 3) { n[1] = *(a + 1) * *(b + 1); }
+        free_words(a);
+        free_words(b);
+        node_count = node_count - 2;
+    }
+    return 0;
+}
+
+int main() {
+    register int t;
+    int *tree;
+    int check;
+    __seed = 7;
+    node_count = 0;
+    check = 0;
+    for (t = 0; t < {ntrees}; t = t + 1) {
+        tree = build({depth});
+        check = check * 3 + eval(tree);
+        fold(tree);
+        check = check + eval(tree);
+        check = check & 268435455;
+    }
+    print(check);
+    print(node_count);
+    return 0;
+}
+"""
+
+
+def source(scale: float = 1.0) -> str:
+    ntrees = scaled(20, scale, minimum=2)
+    return _TEMPLATE.replace("{ntrees}", str(ntrees)).replace(
+        "{depth}", "5")

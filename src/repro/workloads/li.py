@@ -1,0 +1,87 @@
+"""022.li mimic: a small Lisp evaluator over cons cells.
+
+xlisp spends its time in ``xleval``/``cons``: deep recursion (parameter
+homing stores on every call) plus heap writes building cells.  It had
+the *highest* write-check overhead in Table 1 (128.5% for Bitmap) and
+75.9% symbol elimination — almost all its writes are stores of locals
+and parameters that symbol matching can claim.
+"""
+
+from repro.workloads.common import scaled
+
+NAME = "022.li"
+LANG = "C"
+DESCRIPTION = "lisp cons/eval kernel; recursion-dominant"
+
+_TEMPLATE = """
+int heap[{heapwords}];
+int hp;
+
+int cons(int car_v, int cdr_v) {
+    int cell;
+    cell = hp;
+    heap[hp] = car_v;
+    heap[hp + 1] = cdr_v;
+    hp = hp + 2;
+    return cell + 1;
+}
+
+int car(int p) { return heap[p - 1]; }
+int cdr(int p) { return heap[p]; }
+int is_atom(int p) {
+    if (p & 1) return 0;
+    return 1;
+}
+
+int num(int v) { return v * 2; }
+int val(int p) { return p / 2; }
+
+int mklist(int depth, int seed) {
+    int left;
+    int right;
+    if (depth <= 0) {
+        return num(seed % 10 + 1);
+    }
+    left = mklist(depth - 1, seed * 3 + 1);
+    right = mklist(depth - 1, seed * 5 + 2);
+    return cons(left, cons(right, num(seed % 3)));
+}
+
+int xleval(int form) {
+    int op;
+    int a;
+    int b;
+    if (is_atom(form)) {
+        return val(form);
+    }
+    a = xleval(car(form));
+    b = xleval(car(cdr(form)));
+    op = val(cdr(cdr(form)));
+    if (op == 0) return a + b;
+    if (op == 1) return a - b;
+    return a * b % 16384;
+}
+
+int main() {
+    int round;
+    int form;
+    int check;
+    check = 0;
+    for (round = 0; round < {rounds}; round = round + 1) {
+        hp = 0;
+        form = mklist({depth}, round + 3);
+        check = (check * 7 + xleval(form)) % 1000000;
+    }
+    print(check);
+    return 0;
+}
+"""
+
+
+def source(scale: float = 1.0) -> str:
+    rounds = scaled(16, scale, minimum=2)
+    depth = 6
+    heapwords = 4 * (3 * (2 ** depth))
+    return (_TEMPLATE.replace("{rounds}", str(rounds))
+            .replace("{depth}", str(depth))
+            .replace("{heapwords}", str(heapwords)))

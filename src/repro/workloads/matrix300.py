@@ -1,0 +1,54 @@
+"""030.matrix300 mimic: blocked matrix multiply (fixed-point).
+
+matrix300 is pure SAXPY-style matrix multiplication.  Every array write
+in the inner loop walks a column monotonically, so loop optimization
+converts the entire inner-loop check traffic into pre-header range
+checks: the paper reports **100%** of checks eliminated (51.7% symbol —
+the memory-resident loop indices — and 48.3% range).
+"""
+
+from repro.workloads.common import scaled
+
+NAME = "030.matrix300"
+LANG = "F"
+DESCRIPTION = "triple-loop matrix multiply; monotonic array writes"
+
+_TEMPLATE = """
+int a[{n}][{n}];
+int b[{n}][{n}];
+int c[{n}][{n}];
+
+int main() {
+    int i;
+    int j;
+    int k;
+    int check;
+    for (i = 0; i < {n}; i = i + 1) {
+        for (j = 0; j < {n}; j = j + 1) {
+            a[i][j] = (i * 7 + j * 3) % 64;
+            b[i][j] = (i * 5 + j * 11) % 64;
+            c[i][j] = 0;
+        }
+    }
+    for (j = 0; j < {n}; j = j + 1) {
+        for (k = 0; k < {n}; k = k + 1) {
+            for (i = 0; i < {n}; i = i + 1) {
+                c[i][j] = c[i][j] + a[i][k] * b[k][j];
+            }
+        }
+    }
+    check = 0;
+    for (i = 0; i < {n}; i = i + 1) {
+        for (j = 0; j < {n}; j = j + 1) {
+            check = (check * 3 + c[i][j]) % 1000000;
+        }
+    }
+    print(check);
+    return 0;
+}
+"""
+
+
+def source(scale: float = 1.0) -> str:
+    n = scaled(18, scale, minimum=4)
+    return _TEMPLATE.replace("{n}", str(n))

@@ -1,0 +1,96 @@
+"""020.nasker mimic: the NAS kernel medley (fixed-point).
+
+nasker runs seven small numeric kernels.  The mimic includes three
+representative ones: an MXM-style multiply (monotonic writes), a
+row-reduction whose accumulator address is loop-invariant in the inner
+loop (LI write motion — nasker has the largest LI column in Table 2 at
+17.3%), and a GMTRY-style Gaussian elimination sweep.  The paper calls
+programs like this the big winners: "For scientific programs such as
+the NAS kernels, analysis reduced write checks by a factor of ten or
+more" (94.4% eliminated).
+"""
+
+from repro.workloads.common import scaled
+
+NAME = "020.nasker"
+LANG = "F"
+DESCRIPTION = "NAS kernels: mxm + row reduction + elimination sweep"
+
+_TEMPLATE = """
+int ka[{n}][{n}];
+int kb[{n}][{n}];
+int kc[{n}][{n}];
+int rowsum[{n}];
+
+int mxm() {
+    int i;
+    int j;
+    int k;
+    for (j = 0; j < {n}; j = j + 1) {
+        for (k = 0; k < {n}; k = k + 1) {
+            for (i = 0; i < {n}; i = i + 1) {
+                kc[i][j] = kc[i][j] + ka[i][k] * kb[k][j];
+            }
+        }
+    }
+    return 0;
+}
+
+int reduce() {
+    int i;
+    int j;
+    for (i = 0; i < {n}; i = i + 1) {
+        rowsum[i] = 0;
+        for (j = 0; j < {n}; j = j + 1) {
+            rowsum[i] = rowsum[i] + kc[i][j];
+        }
+    }
+    return 0;
+}
+
+int sweep() {
+    int i;
+    int j;
+    int piv;
+    for (i = 1; i < {n}; i = i + 1) {
+        piv = ka[i - 1][i - 1];
+        if (piv == 0) { piv = 1; }
+        for (j = 0; j < {n}; j = j + 1) {
+            ka[i][j] = ka[i][j] - (ka[i - 1][j] * 3) / piv;
+        }
+    }
+    return 0;
+}
+
+int main() {
+    int i;
+    int j;
+    int pass;
+    int check;
+    for (i = 0; i < {n}; i = i + 1) {
+        for (j = 0; j < {n}; j = j + 1) {
+            ka[i][j] = (i * 13 + j * 7) % 32 + 1;
+            kb[i][j] = (i * 3 + j * 17) % 32 + 1;
+            kc[i][j] = 0;
+        }
+    }
+    check = 0;
+    for (pass = 0; pass < {passes}; pass = pass + 1) {
+        mxm();
+        reduce();
+        sweep();
+        for (i = 0; i < {n}; i = i + 1) {
+            check = (check * 3 + rowsum[i]) % 1000000;
+        }
+    }
+    print(check);
+    return 0;
+}
+"""
+
+
+def source(scale: float = 1.0) -> str:
+    n = scaled(16, scale, minimum=4)
+    passes = 2
+    return _TEMPLATE.replace("{n}", str(n)).replace(
+        "{passes}", str(passes))

@@ -1,0 +1,176 @@
+"""Unit tests for the assembly parser: operands, synthetics, errors."""
+
+import pytest
+
+from repro.asm.ast import (AsmInsn, AsmSyntaxError, Directive, Imm, Label,
+                           Mem, Reg, Sym)
+from repro.asm.parser import parse
+from repro.isa.registers import REGISTER_IDS
+
+
+def parse_one(line):
+    stmts = parse(line)
+    assert len(stmts) == 1, stmts
+    return stmts[0]
+
+
+def insns(text):
+    return [s for s in parse(text) if isinstance(s, AsmInsn)]
+
+
+class TestOperands:
+    def test_registers(self):
+        insn = parse_one("add %o0, %o1, %o2")
+        assert [op.rid for op in insn.ops] == [
+            REGISTER_IDS["%o0"], REGISTER_IDS["%o1"], REGISTER_IDS["%o2"]]
+
+    def test_immediates(self):
+        insn = parse_one("add %o0, -17, %o1")
+        assert insn.ops[1] == Imm(-17)
+        insn = parse_one("add %o0, 0x1F, %o1")
+        assert insn.ops[1] == Imm(31)
+
+    def test_memory_forms(self):
+        assert parse_one("ld [%fp-20], %o0").ops[0] == \
+            Mem(REGISTER_IDS["%fp"], disp=-20)
+        assert parse_one("ld [%l0+%l1], %o0").ops[0] == \
+            Mem(REGISTER_IDS["%l0"], index=REGISTER_IDS["%l1"])
+        assert parse_one("ld [%l0], %o0").ops[0] == \
+            Mem(REGISTER_IDS["%l0"])
+        assert parse_one("ld [%l0+8], %o0").ops[0] == \
+            Mem(REGISTER_IDS["%l0"], disp=8)
+
+    def test_hi_lo_relocations(self):
+        insn = parse_one("sethi %hi(counter), %l0")
+        assert insn.ops[0] == Sym("counter", 0, "hi")
+        insn = parse_one("or %l0, %lo(counter+8), %l0")
+        assert insn.ops[1] == Sym("counter", 8, "lo")
+
+    def test_symbol_addend(self):
+        insn = parse_one("call target")
+        assert insn.ops[0] == Sym("target", 0)
+
+    def test_monitor_registers(self):
+        insn = parse_one("mov %g6, %m2")
+        assert insn.ops[2] == Reg("%m2")
+
+
+class TestSynthetics:
+    def test_mov(self):
+        insn = parse_one("mov 5, %o0")
+        assert insn.mnemonic == "or" and insn.ops[0] == Reg("%g0")
+
+    def test_cmp(self):
+        insn = parse_one("cmp %o0, 3")
+        assert insn.mnemonic == "subcc"
+        assert insn.ops[2] == Reg("%g0")
+
+    def test_tst(self):
+        insn = parse_one("tst %g2")
+        assert insn.mnemonic == "orcc"
+
+    def test_set_small_immediate_is_one_insn(self):
+        out = insns("set 100, %o0")
+        assert len(out) == 1 and out[0].mnemonic == "or"
+
+    def test_set_large_immediate_expands(self):
+        out = insns("set 0x12345678, %o0")
+        assert [i.mnemonic for i in out] == ["sethi", "or"]
+
+    def test_set_aligned_immediate_skips_or(self):
+        out = insns("set 0xA0000000, %o0")
+        assert [i.mnemonic for i in out] == ["sethi"]
+
+    def test_set_symbol_always_two_insns(self):
+        out = insns("set counter, %o0")
+        assert [i.mnemonic for i in out] == ["sethi", "or"]
+
+    def test_ret_retl(self):
+        insn = parse_one("ret")
+        assert insn.mnemonic == "jmpl" and insn.ops[0] == Reg("%i7")
+        insn = parse_one("retl")
+        assert insn.ops[0] == Reg("%o7")
+
+    def test_clr_register_and_memory(self):
+        assert parse_one("clr %o0").mnemonic == "or"
+        assert parse_one("clr [%fp-4]").mnemonic == "st"
+
+    def test_inc_dec_neg(self):
+        assert parse_one("inc %o0").mnemonic == "add"
+        assert parse_one("dec %o0").mnemonic == "sub"
+        assert parse_one("neg %o0").mnemonic == "sub"
+
+    def test_jmp(self):
+        insn = parse_one("jmp %l0+8")
+        assert insn.mnemonic == "jmpl" and insn.ops[2] == Reg("%g0")
+
+    def test_restore_bare(self):
+        insn = parse_one("restore")
+        assert len(insn.ops) == 3
+
+    def test_branch_aliases(self):
+        assert parse_one("b target").mnemonic == "ba"
+        assert parse_one("bz target").mnemonic == "be"
+
+
+class TestAnnulAndLabels:
+    def test_annul_suffix(self):
+        insn = parse_one("ba,a target")
+        assert insn.annul is True
+        insn = parse_one("bne,a target")
+        assert insn.annul and insn.mnemonic == "bne"
+
+    def test_labels_and_multiple_per_line(self):
+        stmts = parse("foo: bar: nop")
+        assert isinstance(stmts[0], Label) and stmts[0].name == "foo"
+        assert isinstance(stmts[1], Label) and stmts[1].name == "bar"
+        assert isinstance(stmts[2], AsmInsn)
+
+    def test_dot_labels(self):
+        stmt = parse_one(".Lmrs_skip_3:")
+        assert isinstance(stmt, Label) and stmt.name == ".Lmrs_skip_3"
+
+
+class TestDirectivesAndTags:
+    def test_word_directive(self):
+        stmt = parse_one(".word 1, 2, counter")
+        assert isinstance(stmt, Directive)
+        assert stmt.args == (1, 2, Sym("counter", 0))
+
+    def test_stabs_directive(self):
+        stmt = parse_one('.stabs "x", local, -20, 4')
+        assert stmt.args[0] == "x"
+        assert stmt.args[2] == -20
+
+    def test_tag_directive_sets_instruction_tags(self):
+        stmts = parse("\tnop\n\t.tag check\n\tnop\n\t.tag orig\n\tnop")
+        tags = [s.tag for s in stmts if isinstance(s, AsmInsn)]
+        assert tags == ["orig", "check", "orig"]
+
+    def test_comment_stripping(self):
+        insn = parse_one("add %o0, 1, %o0   ! increment")
+        assert insn.mnemonic == "add"
+
+    def test_comment_inside_stab_string_kept(self):
+        stmt = parse_one('.stabs "weird!name", local, -4, 4')
+        assert stmt.args[0] == "weird!name"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "frobnicate %o0",
+        "ld [%q9], %o0",
+        "add %o0, %nosuch, %o0",
+        "ld [%fp-%o0], %o0",
+    ])
+    def test_bad_input_raises(self, bad):
+        with pytest.raises(AsmSyntaxError):
+            parse(bad)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse("nop\nnop\nbadinsn %o0")
+        except AsmSyntaxError as exc:
+            assert exc.line_no == 3
+        else:
+            raise AssertionError("expected syntax error")

@@ -1,0 +1,146 @@
+"""Tests for checkpoint/restore and replayed execution (§5)."""
+
+import pytest
+
+from repro.debugger import Debugger
+from repro.machine.checkpoint import Checkpoint
+from repro.minic.codegen import compile_source
+from repro.session import DebugSession
+
+PROGRAM = """
+int grid[8];
+int steps;
+
+int advance() {
+    register int i;
+    for (i = 0; i < 8; i++) {
+        grid[i] = grid[i] + i;
+    }
+    steps = steps + 1;
+    return steps;
+}
+
+int main() {
+    register int r;
+    for (r = 0; r < 5; r++) {
+        advance();
+    }
+    print(steps);
+    print(grid[7]);
+    return 0;
+}
+"""
+
+
+class TestCpuCheckpoint:
+    def _session(self):
+        session = DebugSession.from_minic(PROGRAM, strategy="Bitmap")
+        session.mrs.enable()
+        return session
+
+    def test_restore_reproduces_execution_exactly(self):
+        session = self._session()
+        snapshot = Checkpoint(session.cpu, output=session.output)
+        session.run()
+        first = (list(session.output), session.cpu.cycles,
+                 session.cpu.instructions)
+        snapshot.restore(session.cpu, output=session.output)
+        session.cpu.run(start=session.loaded.entry)
+        second = (list(session.output), session.cpu.cycles,
+                  session.cpu.instructions)
+        assert first == second
+
+    def test_restore_rewinds_memory(self):
+        session = self._session()
+        sym = session.symbol("steps")
+        snapshot = Checkpoint(session.cpu)
+        session.run()
+        assert session.cpu.mem.read_word(sym.address) == 5
+        snapshot.restore(session.cpu)
+        assert session.cpu.mem.read_word(sym.address) == 0
+
+    def test_restore_rewinds_registers_and_windows(self):
+        session = self._session()
+        regs = session.cpu.regs
+        regs.write(17, 1234)  # %l1
+        regs.save_window()
+        regs.write(17, 5678)
+        snapshot = Checkpoint(session.cpu)
+        regs.write(17, 9)
+        regs.restore_window()
+        snapshot.restore(session.cpu)
+        assert regs.read(17) == 5678
+        regs.restore_window()
+        assert regs.read(17) == 1234
+
+    def test_restore_rewinds_code_patches(self):
+        """Dynamic Kessler patches are part of the checkpoint."""
+        from repro.optimizer.pipeline import build_plan
+        asm = compile_source(PROGRAM)
+        _stmts, plan = build_plan(asm, mode="full")
+        session = DebugSession.from_asm(
+            asm, strategy="BitmapInlineRegisters", plan=plan)
+        session.mrs.enable()
+        snapshot = Checkpoint(session.cpu, mrs=session.mrs)
+        info = next(iter(session.mrs.inst.patchable.values()))
+        original = session.cpu.code.at(info.addr)
+        session.mrs._activate(info.site, "symbol")
+        assert session.cpu.code.at(info.addr) is not original
+        snapshot.restore(session.cpu, mrs=session.mrs)
+        assert session.cpu.code.at(info.addr) is original
+        assert not session.mrs.active_sites()
+
+
+class TestDebuggerReplay:
+    def test_watchpoints_can_change_between_replays(self):
+        debugger = Debugger.for_source(PROGRAM, optimize=None)
+        checkpoint = debugger.checkpoint()
+
+        coarse = debugger.watch("grid")
+        assert debugger.run() == "exited"
+        total_hits = coarse.hit_count()
+        assert total_hits == 40
+
+        debugger.restore(checkpoint)
+        coarse.delete()
+        precise = debugger.watch("grid[3]")
+        assert debugger.run() == "exited"
+        assert precise.hit_count() == 5
+        assert precise.last_value() == 15
+
+    def test_output_rewound(self):
+        debugger = Debugger.for_source(PROGRAM, optimize=None)
+        checkpoint = debugger.checkpoint()
+        debugger.run()
+        first_output = list(debugger.output)
+        debugger.restore(checkpoint)
+        assert debugger.output == []
+        debugger.run()
+        assert debugger.output == first_output
+
+    def test_midrun_checkpoint(self):
+        debugger = Debugger.for_source(PROGRAM, optimize=None)
+        watchpoint = debugger.watch("steps", action="stop",
+                                    condition=lambda v: v == 2)
+        assert debugger.run() == "watch"
+        checkpoint = debugger.checkpoint()
+        watchpoint.condition = lambda v: v == 4
+        assert debugger.run() == "watch"
+        assert watchpoint.last_value() == 4
+        debugger.restore(checkpoint)
+        watchpoint.condition = lambda v: v == 3
+        assert debugger.run() == "watch"
+        assert watchpoint.last_value() == 3
+        # steps then advances past 3 without matching again
+        assert debugger.run() == "exited"
+
+    def test_region_state_restored(self):
+        debugger = Debugger.for_source(PROGRAM, optimize=None)
+        watchpoint = debugger.watch("steps")
+        checkpoint = debugger.checkpoint()
+        watchpoint.delete()
+        assert len(debugger.mrs.regions) == 0
+        debugger.restore(checkpoint)
+        assert len(debugger.mrs.regions) == 1
+        assert debugger.run() == "exited"
+        assert debugger.watchpoints[0].hit_count() == 5

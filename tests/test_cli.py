@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+PROGRAM = """
+int counter;
+int main() {
+    counter = 1;
+    counter += 41;
+    print(counter);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "program.c"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestRunCommand:
+    def test_run_with_watch(self, source_file, capsys):
+        assert main(["run", source_file, "--watch", "counter"]) == 0
+        out = capsys.readouterr().out
+        assert "42" in out
+        assert "watch counter" in out and "2 hit(s)" in out
+        assert "last value 42" in out
+
+    def test_run_without_optimization(self, source_file, capsys):
+        assert main(["run", source_file, "--optimize", "none",
+                     "--strategy", "Cache", "--watch", "counter"]) == 0
+        assert "2 hit(s)" in capsys.readouterr().out
+
+    def test_stats_output(self, source_file, capsys):
+        assert main(["run", source_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out and "check" in out
+
+    def test_exit_reason_printed(self, source_file, capsys):
+        main(["run", source_file])
+        assert "-- exited" in capsys.readouterr().out
+
+
+class TestAsmCommand:
+    def test_plain_assembly(self, source_file, capsys):
+        assert main(["asm", source_file]) == 0
+        out = capsys.readouterr().out
+        assert ".proc main" in out and ".stabs" in out
+
+    def test_instrumented_assembly(self, source_file, capsys):
+        assert main(["asm", source_file, "--instrument", "Bitmap"]) == 0
+        out = capsys.readouterr().out
+        assert "__mrs_check_w4" in out
+        assert "! check" in out
+
+
+class TestEvalCommands:
+    def test_breakeven(self, capsys):
+        assert main(["breakeven"]) == 0
+        assert "break-even" in capsys.readouterr().out
+
+    def test_space_small(self, capsys):
+        assert main(["space", "--scale", "0.2"]) == 0
+        assert "%" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("run", "asm", "table1", "table2", "figure3",
+                        "nop", "baselines", "space", "breakeven",
+                        "ablations"):
+            assert command in text

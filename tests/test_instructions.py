@@ -1,0 +1,328 @@
+"""Unit tests for instruction semantics, driven through tiny programs."""
+
+import pytest
+
+from repro.asm.loader import run_source
+from repro.isa.instructions import (IsaError, Operand2, to_signed,
+                                    to_unsigned)
+
+
+def run_main(body, data="", **kwargs):
+    """Run a main() whose body leaves the result in %o0 and prints it."""
+    source = """
+        .text
+        .proc main
+main:
+        save %sp, -96, %sp
+{body}
+        ta 1
+        mov 0, %i0
+        ret
+        restore
+        .endproc
+        .data
+{data}
+""".format(body=body, data=data)
+    code, out, cpu = run_source(source, **kwargs)
+    assert code == 0
+    return int(out[0]), cpu
+
+
+class TestHelpers:
+    def test_to_signed(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x7FFFFFFF) == 0x7FFFFFFF
+        assert to_signed(0x80000000) == -(1 << 31)
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+
+    def test_operand2_range(self):
+        with pytest.raises(IsaError):
+            Operand2.imm(5000)
+        with pytest.raises(IsaError):
+            Operand2.imm(-5000)
+        assert Operand2.imm(4095).value == 4095
+
+
+class TestAlu:
+    @pytest.mark.parametrize("body,expected", [
+        ("mov 5, %o0\n add %o0, 3, %o0", 8),
+        ("mov 5, %o0\n sub %o0, 9, %o0", -4),
+        ("mov 12, %o0\n and %o0, 10, %o0", 8),
+        ("mov 12, %o0\n or %o0, 3, %o0", 15),
+        ("mov 12, %o0\n xor %o0, 10, %o0", 6),
+        ("mov 12, %o0\n andn %o0, 10, %o0", 4),
+        ("mov 3, %o0\n sll %o0, 4, %o0", 48),
+        ("mov -16, %o0\n sra %o0, 2, %o0", -4),
+        ("mov -16, %o0\n srl %o0, 28, %o0", 15),
+        ("mov -7, %o0\n smul %o0, 6, %o0", -42),
+        ("mov -43, %o0\n sdiv %o0, 6, %o0", -7),  # truncates toward zero
+        ("mov 43, %o0\n sdiv %o0, -6, %o0", -7),
+    ])
+    def test_alu_ops(self, body, expected):
+        result, _ = run_main(body)
+        assert result == expected
+
+    def test_sethi(self):
+        result, _ = run_main("sethi 0x3FFFFF, %o0\n srl %o0, 10, %o0")
+        assert result == 0x3FFFFF
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            run_main("mov 1, %o0\n sdiv %o0, 0, %o0")
+
+
+class TestConditionCodes:
+    def test_subcc_equal(self):
+        body = """
+        mov 5, %o1
+        cmp %o1, 5
+        be .eq
+        nop
+        mov 0, %o0
+        ba .done
+        nop
+.eq:    mov 1, %o0
+.done:
+"""
+        result, _ = run_main(body)
+        assert result == 1
+
+    @pytest.mark.parametrize("a,b,cond,taken", [
+        (3, 5, "bl", 1), (5, 3, "bl", 0), (5, 5, "bl", 0),
+        (3, 5, "ble", 1), (5, 5, "ble", 1), (6, 5, "ble", 0),
+        (7, 5, "bg", 1), (5, 5, "bge", 1), (4, 5, "bge", 0),
+        (-1, 1, "bl", 1),          # signed compare
+        (-1, 1, "bgu", 1),         # unsigned: 0xffffffff > 1
+        (1, -1, "blu", 1),
+        (3, 3, "bne", 0), (4, 3, "bne", 1),
+    ])
+    def test_branch_conditions(self, a, b, cond, taken):
+        body = """
+        set {a}, %o1
+        set {b}, %o2
+        cmp %o1, %o2
+        {cond} .t
+        nop
+        mov 0, %o0
+        ba .done
+        nop
+.t:     mov 1, %o0
+.done:
+""".format(a=a, b=b, cond=cond)
+        result, _ = run_main(body)
+        assert result == taken
+
+    def test_addcc_overflow_sets_v(self):
+        # 0x7fffffff + 1 overflows; V corrects N, so bge (n xor v == 0)
+        # IS taken: the true arithmetic result is positive.
+        body = """
+        set 0x7FFFFFFF, %o1
+        addcc %o1, 1, %o1
+        bge .ge
+        nop
+        mov 0, %o0
+        ba .done
+        nop
+.ge:    mov 1, %o0
+.done:
+"""
+        result, _ = run_main(body)
+        assert result == 1
+
+
+class TestDelaySlots:
+    def test_delay_slot_executes_on_taken_branch(self):
+        body = """
+        mov 0, %o0
+        ba .target
+        add %o0, 7, %o0     ! delay slot must execute
+.target:
+"""
+        result, _ = run_main(body)
+        assert result == 7
+
+    def test_delay_slot_executes_on_untaken_branch(self):
+        body = """
+        mov 0, %o0
+        cmp %o0, 1
+        be .skip
+        add %o0, 7, %o0     ! executes: branch untaken, no annul
+.skip:
+"""
+        result, _ = run_main(body)
+        assert result == 7
+
+    def test_annulled_untaken_conditional_skips_slot(self):
+        body = """
+        mov 0, %o0
+        cmp %o0, 1
+        be,a .skip
+        add %o0, 7, %o0     ! annulled: branch untaken
+.skip:
+"""
+        result, _ = run_main(body)
+        assert result == 0
+
+    def test_annulled_taken_conditional_executes_slot(self):
+        body = """
+        mov 1, %o0
+        cmp %o0, 1
+        be,a .skip
+        add %o0, 7, %o0     ! executes: conditional taken with annul
+.skip:
+"""
+        result, _ = run_main(body)
+        assert result == 8
+
+    def test_ba_annul_always_skips_slot(self):
+        # the property Kessler single-instruction patches rely on
+        body = """
+        mov 0, %o0
+        ba,a .skip
+        add %o0, 7, %o0     ! must NOT execute
+.skip:
+"""
+        result, _ = run_main(body)
+        assert result == 0
+
+    def test_call_delay_slot_executes(self):
+        source = """
+        .text
+        .proc main
+main:
+        save %sp, -96, %sp
+        call f
+        mov 3, %o0           ! delay slot sets the argument
+        mov %o0, %o0
+        ta 1
+        mov 0, %i0
+        ret
+        restore
+        .endproc
+        .proc f
+f:
+        retl
+        add %o0, 10, %o0     ! leaf return, delay slot does the work
+        .endproc
+"""
+        code, out, _ = run_source(source)
+        assert code == 0 and out == ["13"]
+
+
+class TestMemoryInsns:
+    def test_store_load_word(self):
+        result, _ = run_main("""
+        set buf, %o1
+        mov 77, %o2
+        st %o2, [%o1+4]
+        ld [%o1+4], %o0
+""", data="buf: .skip 16")
+        assert result == 77
+
+    def test_byte_ops_big_endian(self):
+        result, _ = run_main("""
+        set buf, %o1
+        set 0x11223344, %o2
+        st %o2, [%o1]
+        ldub [%o1+1], %o0
+""", data="buf: .skip 8")
+        assert result == 0x22
+
+    def test_stb_modifies_one_byte(self):
+        result, _ = run_main("""
+        set buf, %o1
+        set 0x11223344, %o2
+        st %o2, [%o1]
+        mov 0xAB, %o3
+        stb %o3, [%o1+2]
+        ld [%o1], %o0
+        srl %o0, 8, %o0
+        and %o0, 0xFF, %o0
+""", data="buf: .skip 8")
+        assert result == 0xAB
+
+    def test_ldsb_sign_extends(self):
+        result, _ = run_main("""
+        set buf, %o1
+        mov 0xFF, %o2
+        stb %o2, [%o1]
+        ldsb [%o1], %o0
+""", data="buf: .skip 8")
+        assert result == -1
+
+    def test_register_indexed_address(self):
+        result, _ = run_main("""
+        set buf, %o1
+        mov 8, %o2
+        mov 55, %o3
+        st %o3, [%o1+%o2]
+        ld [%o1+8], %o0
+""", data="buf: .skip 16")
+        assert result == 55
+
+
+class TestWindowsAndCalls:
+    def test_nested_calls_preserve_locals(self):
+        source = """
+        .text
+        .proc main
+main:
+        save %sp, -96, %sp
+        mov 21, %l0
+        call double
+        mov %l0, %o0
+        mov %o0, %o0
+        ta 1
+        mov 0, %i0
+        ret
+        restore
+        .endproc
+        .proc double
+double:
+        save %sp, -96, %sp
+        mov 99, %l0           ! clobber callee %l0
+        sll %i0, 1, %i0
+        ret
+        restore
+        .endproc
+"""
+        code, out, _ = run_source(source)
+        assert code == 0 and out == ["42"]
+
+    def test_deep_recursion(self):
+        source = """
+        .text
+        .proc main
+main:
+        save %sp, -96, %sp
+        call sum
+        mov 100, %o0
+        mov %o0, %o0
+        ta 1
+        mov 0, %i0
+        ret
+        restore
+        .endproc
+        .proc sum
+sum:
+        save %sp, -96, %sp
+        cmp %i0, 0
+        bne .rec
+        nop
+        mov 0, %i0
+        ret
+        restore
+.rec:
+        sub %i0, 1, %o0
+        call sum
+        nop
+        add %o0, %i0, %i0
+        ret
+        restore
+        .endproc
+"""
+        code, out, cpu = run_source(source)
+        assert out == ["5050"]
+        assert cpu.max_window_depth > 8  # spilled and recovered

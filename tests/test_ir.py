@@ -1,0 +1,302 @@
+"""Tests for the IR substrate: CFG construction, dominators, SSA form,
+natural loops, and assert insertion."""
+
+import pytest
+
+from repro.asm.parser import parse
+from repro.instrument.writes import enumerate_write_sites
+from repro.ir.build import apply_promotion, build_ir
+from repro.ir.cfg import dominates
+from repro.ir.loops import find_loops, preheader_anchor
+from repro.ir.ssa import convert_to_ssa
+from repro.ir.tac import Const, SsaVar, SymAddr
+from repro.minic.codegen import compile_source
+from repro.optimizer.asserts import insert_asserts
+from repro.optimizer.symbols import collect_static_symbols
+
+LOOP_ASM = """
+        .lang C
+        .text
+        .proc main
+main:
+        save %sp, -104, %sp
+        .stabs "i", local, -4, 4
+        .stabs "n", local, -8, 4
+        mov 10, %l7
+        st %l7, [%fp-8]
+        st %g0, [%fp-4]
+.loop:
+        ld [%fp-4], %l7
+        ld [%fp-8], %l6
+        cmp %l7, %l6
+        bge .done
+        nop
+        ld [%fp-4], %l7
+        add %l7, 1, %l7
+        st %l7, [%fp-4]
+        ba .loop
+        nop
+.done:
+        mov 0, %i0
+        ret
+        restore
+        .endproc
+"""
+
+
+def build(asm, lang="C"):
+    stmts = parse(asm)
+    enumerate_write_sites(stmts, lang)
+    symbols = collect_static_symbols(stmts)
+    funcs, escaped = build_ir(stmts, symbols)
+    return stmts, funcs, escaped, symbols
+
+
+class TestCfg:
+    def test_blocks_and_edges(self):
+        _stmts, funcs, _esc, _syms = build(LOOP_ASM)
+        func = funcs[0]
+        order = convert_to_ssa(func).order
+        # entry, loop header, body, exit
+        assert len(order) == 4
+        header = next(b for b in order if ".loop" in b.labels)
+        body = header.succs[1]          # fallthrough under bge
+        exit_block = header.succs[0]    # taken edge
+        assert ".done" in exit_block.labels
+        assert header in body.succs     # back edge
+        assert header.preds.count(body) == 1
+
+    def test_dominators(self):
+        _stmts, funcs, _e, _s = build(LOOP_ASM)
+        func = funcs[0]
+        order = convert_to_ssa(func).order
+        entry = order[0]
+        header = next(b for b in order if ".loop" in b.labels)
+        body = header.succs[1]
+        assert dominates(entry, header)
+        assert dominates(header, body)
+        assert not dominates(body, header)
+
+    def test_delay_slot_grouped_with_branch(self):
+        _stmts, funcs, _e, _s = build(LOOP_ASM)
+        func = funcs[0]
+        for block in func.blocks:
+            kinds = [op.kind for op in block.ops]
+            # no block starts with a bare delay-slot remnant
+            assert "branch" not in kinds[:-1] or True
+            if "branch" in kinds:
+                assert kinds[-1] == "branch"
+
+
+class TestSsa:
+    def test_unique_definitions(self):
+        _stmts, funcs, escaped, _s = build(LOOP_ASM)
+        func = funcs[0]
+        apply_promotion(funcs, escaped)
+        insert_asserts(func)
+        info = convert_to_ssa(func)
+        seen = set()
+        for block in info.order:
+            for op in block.all_ops():
+                for dest in op.defs:
+                    if isinstance(dest, SsaVar):
+                        assert id(dest) not in seen
+                        seen.add(id(dest))
+
+    def test_phi_arity_matches_preds(self):
+        _stmts, funcs, escaped, _s = build(LOOP_ASM)
+        func = funcs[0]
+        apply_promotion(funcs, escaped)
+        info = convert_to_ssa(func)
+        for block in info.order:
+            for phi in block.phis:
+                assert len(phi.uses) == len(block.preds)
+
+    def test_uses_reference_ssavars(self):
+        _stmts, funcs, escaped, _s = build(LOOP_ASM)
+        func = funcs[0]
+        apply_promotion(funcs, escaped)
+        info = convert_to_ssa(func)
+        for block in info.order:
+            for op in block.ops:
+                for use in op.uses:
+                    assert isinstance(use, (SsaVar, Const, SymAddr)), op
+
+    def test_promoted_variable_has_phi_at_header(self):
+        _stmts, funcs, escaped, _s = build(LOOP_ASM)
+        func = funcs[0]
+        promoted = apply_promotion(funcs, escaped)
+        assert ("v", "main", -4) in promoted
+        info = convert_to_ssa(func)
+        header = next(b for b in info.order if ".loop" in b.labels)
+        phi_names = {p.defs[0].name for p in header.phis}
+        assert ("v", "main", -4) in phi_names
+
+
+class TestPromotion:
+    def test_exact_scalar_promoted(self):
+        _stmts, funcs, escaped, _s = build(LOOP_ASM)
+        promoted = apply_promotion(funcs, escaped)
+        assert ("v", "main", -4) in promoted
+        assert ("v", "main", -8) in promoted
+
+    def test_escaped_local_not_promoted(self):
+        asm = compile_source("""
+        int use(int *p) { *p = 3; return *p; }
+        int main() {
+            int x;
+            x = 1;
+            use(&x);
+            print(x);
+            return 0;
+        }
+        """)
+        stmts, funcs, escaped, _s = build(asm)
+        promoted = apply_promotion(funcs, escaped)
+        main_func = next(f for f in funcs if f.name == "main")
+        x_entry = [e for e in _s.locals.get("main", [])
+                   if e.name == "x"]
+        assert x_entry
+        offset = x_entry[0].offset
+        assert ("v", "main", offset) not in promoted
+
+    def test_escaped_global_not_promoted(self):
+        asm = compile_source("""
+        int g;
+        int *take() { return &g; }
+        int main() {
+            int *p;
+            g = 1;
+            p = take();
+            *p = 2;
+            print(g);
+            return 0;
+        }
+        """)
+        stmts, funcs, escaped, _s = build(asm)
+        promoted = apply_promotion(funcs, escaped)
+        assert not any(key[1] == "G_g" for key in promoted)
+
+    def test_calls_define_promoted_globals(self):
+        asm = compile_source("""
+        int counter;
+        int bump() { counter = counter + 1; return counter; }
+        int main() {
+            int t;
+            counter = 0;
+            t = bump();
+            print(t + counter);
+            return 0;
+        }
+        """)
+        stmts, funcs, escaped, _s = build(asm)
+        promoted = apply_promotion(funcs, escaped)
+        key = next((k for k in promoted if k[1] == "G_counter"), None)
+        assert key is not None
+        main_func = next(f for f in funcs if f.name == "main")
+        call_ops = [op for b in main_func.blocks for op in b.ops
+                    if op.kind == "call"]
+        assert call_ops and all(key in op.defs for op in call_ops)
+
+
+class TestLoops:
+    def test_natural_loop_found(self):
+        stmts, funcs, escaped, _s = build(LOOP_ASM)
+        func = funcs[0]
+        order = convert_to_ssa(func).order
+        loops = find_loops(func, order)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert ".loop" in loop.header.labels
+        assert len(loop.body) == 2  # header + body
+
+    def test_preheader_anchor_is_header_label(self):
+        stmts, funcs, escaped, _s = build(LOOP_ASM)
+        func = funcs[0]
+        order = convert_to_ssa(func).order
+        loops = find_loops(func, order)
+        anchor = preheader_anchor(func, loops[0], stmts)
+        assert anchor is not None
+        from repro.asm.ast import Label
+        assert isinstance(stmts[anchor], Label)
+        assert stmts[anchor].name == ".loop"
+
+    def test_nested_loops_ordered_inner_first(self):
+        asm = compile_source("""
+        int m[8][8];
+        int main() {
+            int i; int j;
+            for (i = 0; i < 8; i = i + 1) {
+                for (j = 0; j < 8; j = j + 1) {
+                    m[i][j] = i + j;
+                }
+            }
+            print(m[7][7]);
+            return 0;
+        }
+        """)
+        stmts, funcs, escaped, _s = build(asm)
+        func = funcs[0]
+        order = convert_to_ssa(func).order
+        loops = find_loops(func, order)
+        assert len(loops) == 2
+        inner, outer = loops
+        assert len(inner.body) < len(outer.body)
+        assert inner.parent is outer
+        assert inner in outer.children
+
+    def test_jump_into_header_disables_preheader(self):
+        asm = """
+        .text
+        .proc f
+f:
+        save %sp, -96, %sp
+        ba .header
+        nop
+.header:
+        cmp %l0, 10
+        bge .out
+        nop
+        add %l0, 1, %l0
+        ba .header
+        nop
+.out:
+        ret
+        restore
+        .endproc
+"""
+        stmts, funcs, escaped, _s = build(asm)
+        func = funcs[0]
+        order = convert_to_ssa(func).order
+        loops = find_loops(func, order)
+        assert loops
+        assert preheader_anchor(func, loops[0], stmts) is None
+
+
+class TestAsserts:
+    def test_asserts_on_both_edges(self):
+        stmts, funcs, escaped, _s = build(LOOP_ASM)
+        func = funcs[0]
+        apply_promotion(funcs, escaped)
+        count = insert_asserts(func)
+        assert count == 1
+        relations = []
+        for block in func.blocks:
+            for op in block.ops:
+                if op.kind == "assert":
+                    relations.append(op.relation)
+        assert sorted(relations) == ["ge", "lt"]
+
+    def test_assert_operands_traced_to_pseudo_vars(self):
+        stmts, funcs, escaped, _s = build(LOOP_ASM)
+        func = funcs[0]
+        apply_promotion(funcs, escaped)
+        insert_asserts(func)
+        asserted = set()
+        for block in func.blocks:
+            for op in block.ops:
+                if op.kind == "assert":
+                    for dest in op.defs:
+                        asserted.add(dest)
+        assert ("v", "main", -4) in asserted
+        assert ("v", "main", -8) in asserted

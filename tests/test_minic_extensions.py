@@ -1,0 +1,245 @@
+"""Tests for the extended mini-C features: do-while, compound
+assignment, increments, ternary, string literals and puts()."""
+
+import pytest
+
+from repro.minic import CompileError, compile_and_run
+from repro.session import DebugSession
+
+
+def run(body, globals_="", expect=None):
+    source = globals_ + "\nint main() {\n" + body + "\nreturn 0;\n}\n"
+    code, out, cpu = compile_and_run(source)
+    assert code == 0
+    if expect is not None:
+        assert "".join(out) == expect, out
+    return out, cpu
+
+
+class TestDoWhile:
+    def test_executes_body_at_least_once(self):
+        run("""
+            int n;
+            n = 100;
+            do { n = n + 1; } while (n < 0);
+            print(n);
+        """, expect="101")
+
+    def test_loops_until_condition_fails(self):
+        run("""
+            int i; int s;
+            i = 0; s = 0;
+            do { s += i; i++; } while (i < 5);
+            print(s);
+        """, expect="10")
+
+    def test_break_and_continue(self):
+        run("""
+            int i; int s;
+            i = 0; s = 0;
+            do {
+                i++;
+                if (i % 2 == 0) continue;
+                if (i > 7) break;
+                s += i;
+            } while (i < 100);
+            print(s);
+        """, expect="16")  # 1+3+5+7
+
+    def test_do_while_write_correctly_stays_checked(self):
+        """A do-while body runs before any bound test, so no assert
+        dominates its writes: the optimizer must NOT range-eliminate
+        them (soundness beats coverage), and hits must still be exact.
+        """
+        from helpers import check_soundness
+        from repro.minic.codegen import compile_source
+        from repro.optimizer.pipeline import build_plan
+        source = """
+        int a[20];
+        int main() {
+            int i;
+            i = 0;
+            do {
+                a[i] = i;
+                i++;
+            } while (i < 20);
+            print(a[19]);
+            return 0;
+        }
+        """
+        asm = compile_source(source)
+        _stmts, plan = build_plan(asm, mode="full")
+        from repro.instrument.plan import ELIM_RANGE
+        # the unbounded-on-first-iteration write keeps its check
+        assert ELIM_RANGE not in plan.eliminate.values()
+        check_soundness(source, "BitmapInlineRegisters", [("a", 0, 80)])
+
+
+class TestCompoundAssignment:
+    @pytest.mark.parametrize("body,result", [
+        ("x = 10; x += 5;", 15),
+        ("x = 10; x -= 3;", 7),
+        ("x = 10; x *= 4;", 40),
+        ("x = 10; x /= 3;", 3),
+        ("x = 10; x %= 3;", 1),
+    ])
+    def test_scalar_ops(self, body, result):
+        run("int x;\n" + body + "\nprint(x);", expect=str(result))
+
+    def test_compound_on_array_element(self):
+        run("""
+            int i;
+            for (i = 0; i < 4; i++) { a[i] = i; }
+            a[2] += 100;
+            print(a[2]);
+        """, globals_="int a[4];", expect="102")
+
+    def test_compound_on_struct_field(self):
+        run("""
+            p.x = 5;
+            p.x *= 3;
+            print(p.x);
+        """, globals_="struct pt { int x; }; struct pt p;", expect="15")
+
+    def test_compound_through_pointer(self):
+        run("""
+            int v;
+            int *p;
+            v = 8;
+            p = &v;
+            *p += 2;
+            print(v);
+        """, expect="10")
+
+
+class TestIncrements:
+    def test_postfix_statement(self):
+        run("int x; x = 1; x++; x++; print(x);", expect="3")
+
+    def test_prefix_statement(self):
+        run("int x; x = 5; --x; print(x);", expect="4")
+
+    def test_in_for_header(self):
+        run("""
+            int i; int s;
+            s = 0;
+            for (i = 0; i < 6; i++) { s += i; }
+            print(s);
+        """, expect="15")
+
+    def test_on_register_variable(self):
+        run("""
+            register int r;
+            int s;
+            s = 0;
+            for (r = 0; r < 4; ++r) { s += r; }
+            print(s);
+        """, expect="6")
+
+    def test_increment_still_monotonic_for_optimizer(self):
+        from repro.minic.codegen import compile_source
+        from repro.optimizer.pipeline import build_plan
+        asm = compile_source("""
+        int a[12];
+        int main() {
+            int i;
+            for (i = 0; i < 12; i++) { a[i] = i; }
+            print(a[11]);
+            return 0;
+        }
+        """)
+        _stmts, plan = build_plan(asm, mode="full")
+        assert plan.summary()["range"] == 1
+
+
+class TestTernary:
+    def test_basic(self):
+        run("int x; x = 3 > 2 ? 10 : 20; print(x);", expect="10")
+        run("int x; x = 3 < 2 ? 10 : 20; print(x);", expect="20")
+
+    def test_nested_in_expression(self):
+        run("""
+            int x;
+            x = 5;
+            print((x > 3 ? 1 : 0) + (x > 10 ? 100 : 200));
+        """, expect="201")
+
+    def test_sides_evaluated_lazily(self):
+        run("""
+            int zero;
+            zero = 0;
+            print(zero != 0 ? 100 / zero : -1);
+        """, expect="-1")
+
+    def test_as_call_argument(self):
+        source = """
+        int pick(int v) { return v * 2; }
+        int main() {
+            print(pick(1 < 2 ? 21 : 0));
+            return 0;
+        }
+        """
+        code, out, _ = compile_and_run(source)
+        assert out == ["42"]
+
+
+class TestStrings:
+    def test_puts_basic(self):
+        run('puts("hi");', expect="hi")
+
+    def test_escapes(self):
+        run('puts("a\\tb\\n");', expect="a\tb\n")
+
+    def test_string_deduplication(self):
+        from repro.minic.codegen import compile_source
+        asm = compile_source("""
+        int main() {
+            puts("same");
+            puts("same");
+            puts("different");
+            return 0;
+        }
+        """)
+        assert asm.count(".Lstr0") >= 2
+        assert ".Lstr2" not in asm
+
+    def test_string_as_pointer_value(self):
+        run("""
+            int *p;
+            p = "AB";
+            putc(p[0] >> 24);
+        """, expect="A")
+
+    def test_string_in_ternary(self):
+        run('int f; f = 0; puts(f ? "yes" : "no");', expect="no")
+
+    def test_watching_strings_region(self):
+        """Instrumented programs with strings still run correctly."""
+        source = """
+        int main() {
+            puts("checked\\n");
+            return 0;
+        }
+        """
+        session = DebugSession.from_minic(source, strategy="Bitmap")
+        session.mrs.enable()
+        assert session.run() == 0
+        assert "".join(session.output) == "checked\n"
+
+
+class TestErrors:
+    def test_compound_requires_lvalue(self):
+        with pytest.raises(CompileError):
+            compile_and_run("int main() { 1 += 2; return 0; }")
+
+    def test_increment_requires_lvalue(self):
+        with pytest.raises(CompileError):
+            compile_and_run("int main() { 5++; return 0; }")
+
+    def test_ternary_missing_colon(self):
+        with pytest.raises(CompileError):
+            compile_and_run("int main() { return 1 ? 2; }")
+
+    def test_bad_string_escape(self):
+        with pytest.raises(CompileError):
+            compile_and_run('int main() { puts("\\q"); return 0; }')

@@ -1,0 +1,136 @@
+"""Unit tests for the windowed register file."""
+
+import pytest
+
+from repro.isa.registers import (FP, NUM_WINDOWS, REGISTER_IDS,
+                                 RegisterFile, SP, WindowError,
+                                 register_name)
+
+
+def rid(name):
+    return REGISTER_IDS[name]
+
+
+class TestRegisterNames:
+    def test_aliases(self):
+        assert rid("%sp") == rid("%o6")
+        assert rid("%fp") == rid("%i6")
+        assert register_name(SP) == "%sp"
+        assert register_name(FP) == "%fp"
+
+    def test_all_names_roundtrip(self):
+        for name, value in REGISTER_IDS.items():
+            if name in ("%o6", "%i6"):
+                continue
+            assert register_name(value) == name
+
+    def test_monitor_registers_exist(self):
+        for k in range(4):
+            assert "%%m%d" % k in REGISTER_IDS
+
+
+class TestBasicReadWrite:
+    def test_g0_reads_zero(self):
+        regs = RegisterFile()
+        regs.write(0, 12345)
+        assert regs.read(0) == 0
+
+    def test_write_read_globals(self):
+        regs = RegisterFile()
+        regs.write(rid("%g3"), 77)
+        assert regs.read(rid("%g3")) == 77
+
+    def test_values_truncated_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write(rid("%g1"), 0x1_0000_0005)
+        assert regs.read(rid("%g1")) == 5
+
+    def test_monitor_registers(self):
+        regs = RegisterFile()
+        regs.write(rid("%m2"), 0xDEAD)
+        assert regs.read(rid("%m2")) == 0xDEAD
+
+    def test_ins_read_zero_without_parent(self):
+        regs = RegisterFile()
+        assert regs.read(rid("%i3")) == 0
+
+
+class TestWindows:
+    def test_save_maps_outs_to_ins(self):
+        regs = RegisterFile()
+        regs.write(rid("%o0"), 42)
+        regs.save_window()
+        assert regs.read(rid("%i0")) == 42
+
+    def test_restore_maps_ins_back_to_outs(self):
+        regs = RegisterFile()
+        regs.write(rid("%o0"), 1)
+        regs.save_window()
+        regs.write(rid("%i0"), 99)  # return value
+        regs.restore_window()
+        assert regs.read(rid("%o0")) == 99
+
+    def test_locals_are_private_per_window(self):
+        regs = RegisterFile()
+        regs.write(rid("%l0"), 5)
+        regs.save_window()
+        assert regs.read(rid("%l0")) == 0
+        regs.write(rid("%l0"), 7)
+        regs.restore_window()
+        assert regs.read(rid("%l0")) == 5
+
+    def test_restore_without_save_raises(self):
+        regs = RegisterFile()
+        with pytest.raises(WindowError):
+            regs.restore_window()
+
+    def test_no_overflow_until_file_is_full(self):
+        regs = RegisterFile()
+        overflows = [regs.save_window() for _ in range(NUM_WINDOWS - 2)]
+        assert overflows == [False] * (NUM_WINDOWS - 2)
+
+    def test_bulk_spill_amortizes_overflow_traps(self):
+        regs = RegisterFile()
+        overflows = [regs.save_window() for _ in range(20)]
+        # first NUM_WINDOWS-2 saves are free; then one trap per
+        # WINDOW_TRAP_BULK further saves (7, 11, 15, 19)
+        assert sum(overflows) == 4
+        assert overflows[NUM_WINDOWS - 2] is True
+        assert overflows[NUM_WINDOWS - 1] is False
+
+    def test_steady_depth_oscillation_does_not_trap(self):
+        # the property procedure-call write checks rely on: at constant
+        # call depth, a save/restore pair traps at most once, not forever
+        regs = RegisterFile()
+        for _ in range(12):
+            regs.save_window()
+        traps = 0
+        for _ in range(50):
+            traps += bool(regs.save_window())
+            traps += bool(regs.restore_window())
+        assert traps <= 2
+
+    def test_underflow_fills_match_overflow_spills(self):
+        regs = RegisterFile()
+        spills = sum(bool(regs.save_window()) for _ in range(20))
+        fills = sum(bool(regs.restore_window()) for _ in range(20))
+        assert spills == fills == 4
+
+    def test_deep_recursion_values_survive_spills(self):
+        regs = RegisterFile()
+        depth = 40
+        for i in range(depth):
+            regs.write(rid("%l1"), i)
+            regs.save_window()
+        for i in reversed(range(depth)):
+            regs.restore_window()
+            assert regs.read(rid("%l1")) == i
+
+    def test_depth_tracking(self):
+        regs = RegisterFile()
+        assert regs.depth == 1
+        regs.save_window()
+        regs.save_window()
+        assert regs.depth == 3
+        regs.restore_window()
+        assert regs.depth == 2

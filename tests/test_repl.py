@@ -1,0 +1,123 @@
+"""Tests for the interactive debugger REPL (scripted sessions)."""
+
+import pytest
+
+from repro.debugger import Debugger
+from repro.debugger.repl import DebuggerRepl
+
+PROGRAM = """
+int level;
+int table[6];
+
+int refill(int n) {
+    register int i;
+    for (i = 0; i < 6; i++) { table[i] = n + i; }
+    level = n;
+    return n;
+}
+
+int main() {
+    refill(10);
+    refill(20);
+    print(level);
+    return 0;
+}
+"""
+
+
+def make_repl():
+    debugger = Debugger.for_source(PROGRAM, optimize="full")
+    lines = []
+    repl = DebuggerRepl(debugger, write=lines.append)
+    return repl, lines
+
+
+def run_script(repl, commands):
+    for command in commands:
+        alive = repl.execute(command)
+        if not alive:
+            return False
+    return True
+
+
+class TestSession:
+    def test_watch_run_stop_continue(self):
+        repl, lines = make_repl()
+        run_script(repl, ["watch level", "run"])
+        assert any("stopped: level = 10" in line for line in lines)
+        run_script(repl, ["continue"])
+        assert any("stopped: level = 20" in line for line in lines)
+        run_script(repl, ["continue"])
+        assert any("program exited" in line for line in lines)
+
+    def test_trace_does_not_stop(self):
+        repl, lines = make_repl()
+        run_script(repl, ["trace table[2]", "run", "info"])
+        assert any("program exited" in line for line in lines)
+        assert any("2 hit(s)" in line for line in lines)
+
+    def test_print_scalar_and_array(self):
+        repl, lines = make_repl()
+        run_script(repl, ["run", "print level", "print table"])
+        assert any("level = 20" in line for line in lines)
+        assert any("table = {20, 21, 22, 23, 24, 25}" in line
+                   for line in lines)
+
+    def test_break_command(self):
+        repl, lines = make_repl()
+        run_script(repl, ["break refill", "run"])
+        assert any("stopped: breakpoint:refill" in line
+                   for line in lines)
+
+    def test_checkpoint_restore_replay(self):
+        repl, lines = make_repl()
+        # checkpoint AFTER creating the watchpoint: restore rewinds the
+        # watchpoint set to exactly what existed at checkpoint time
+        run_script(repl, ["watch level", "checkpoint", "run"])
+        assert any("stopped: level = 10" in line for line in lines)
+        run_script(repl, ["restore", "run"])
+        # after restore the same first hit replays
+        assert sum("stopped: level = 10" in line for line in lines) == 2
+
+    def test_run_after_exit_suggests_restore(self):
+        repl, lines = make_repl()
+        run_script(repl, ["run", "run"])
+        assert any("use restore" in line for line in lines)
+
+    def test_unwatch(self):
+        repl, lines = make_repl()
+        run_script(repl, ["watch level", "unwatch 0", "run"])
+        assert any("deleted watchpoint #0" in line for line in lines)
+        assert any("program exited" in line for line in lines)
+
+    def test_disasm_command(self):
+        repl, lines = make_repl()
+        run_script(repl, ["disasm refill"])
+        assert any("save %sp" in line for line in lines)
+
+    def test_errors_reported_not_raised(self):
+        repl, lines = make_repl()
+        run_script(repl, ["watch nothing", "frobnicate", "unwatch 9",
+                          "disasm missing", "print"])
+        assert any("error: no symbol" in line for line in lines)
+        assert any("unknown command" in line for line in lines)
+        assert any("no watchpoint #9" in line for line in lines)
+        assert any("no function" in line for line in lines)
+
+    def test_quit_ends_session(self):
+        repl, lines = make_repl()
+        assert repl.execute("quit") is False
+        assert repl.execute("q") is False
+
+    def test_help(self):
+        repl, lines = make_repl()
+        run_script(repl, ["help"])
+        assert any("checkpoint" in line for line in lines)
+
+
+    def test_step_command(self):
+        repl, lines = make_repl()
+        run_script(repl, ["step", "step 5", "info"])
+        pcs = [line for line in lines if line.startswith("pc=")]
+        assert len(pcs) >= 3  # two step echoes + info line
+        assert any("6 instructions" in line for line in lines)

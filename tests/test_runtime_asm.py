@@ -1,0 +1,148 @@
+"""Direct tests of the generated monitor library routines: call them
+with a hand-set %g4 and verify lookup behaviour against the bitmap."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.asm.loader import load_program
+from repro.core.bitmap import SegmentedBitmap
+from repro.core.layout import MonitorLayout
+from repro.core.runtime_asm import (INVALID_SEGMENT, check_routine,
+                                    library_source, miss_routine)
+from repro.isa.registers import REGISTER_IDS
+from repro.machine.traps import TRAP_MONITOR_HIT
+
+
+def harness(extra_lines, target_addr, layout=None):
+    """Build a program that calls one library routine with %g4 set."""
+    layout = layout or MonitorLayout()
+    source = """
+        .text
+        .proc main
+main:
+        save %%sp, -96, %%sp
+        set %d, %%g4
+        call __routine
+        nop
+        mov 0, %%i0
+        ret
+        restore
+        .endproc
+__routine:
+""" % target_addr
+    source += "\n".join(extra_lines) + "\n"
+    program = assemble(source)
+    loaded = load_program(program)
+    hits = []
+
+    def on_hit(cpu):
+        hits.append((cpu.regs.read(REGISTER_IDS["%g4"]),
+                     cpu.regs.read(REGISTER_IDS["%g6"])))
+
+    loaded.cpu.trap_handlers[TRAP_MONITOR_HIT] = on_hit
+    return loaded, hits, layout
+
+
+def routine_body(lines):
+    """Library routine lines, dropping the entry label (the harness
+    provides ``__routine:``)."""
+    return [line for line in lines[1:]]
+
+
+class TestCheckRoutine:
+    def test_miss_when_unmonitored(self):
+        layout = MonitorLayout()
+        lines = routine_body(check_routine(layout, 4))
+        loaded, hits, layout = harness(lines, 0x10004000, layout)
+        assert loaded.run() == 0
+        assert hits == []
+
+    def test_hit_when_monitored(self):
+        layout = MonitorLayout()
+        lines = routine_body(check_routine(layout, 4))
+        loaded, hits, layout = harness(lines, 0x10004000, layout)
+        bitmap = SegmentedBitmap(loaded.cpu.mem, layout)
+        from repro.core.regions import MonitoredRegion
+        bitmap.set_region(MonitoredRegion(0x10004000, 4))
+        assert loaded.run() == 0
+        assert hits == [(0x10004000, 4)]
+
+    def test_adjacent_word_not_hit(self):
+        layout = MonitorLayout()
+        lines = routine_body(check_routine(layout, 4))
+        loaded, hits, layout = harness(lines, 0x10004004, layout)
+        bitmap = SegmentedBitmap(loaded.cpu.mem, layout)
+        from repro.core.regions import MonitoredRegion
+        bitmap.set_region(MonitoredRegion(0x10004000, 4))
+        loaded.run()
+        assert hits == []
+
+    def test_byte_routine_reports_size_one(self):
+        layout = MonitorLayout()
+        lines = routine_body(check_routine(layout, 1))
+        loaded, hits, layout = harness(lines, 0x10004000, layout)
+        bitmap = SegmentedBitmap(loaded.cpu.mem, layout)
+        from repro.core.regions import MonitoredRegion
+        bitmap.set_region(MonitoredRegion(0x10004000, 4))
+        loaded.run()
+        assert hits == [(0x10004000, 1)]
+
+    def test_read_routine_sets_read_flag(self):
+        layout = MonitorLayout()
+        lines = routine_body(check_routine(layout, 4, is_read=True))
+        loaded, hits, layout = harness(lines, 0x10004000, layout)
+        bitmap = SegmentedBitmap(loaded.cpu.mem, layout)
+        from repro.core.regions import MonitoredRegion
+        bitmap.set_region(MonitoredRegion(0x10004000, 4))
+        loaded.run()
+        assert hits == [(0x10004000, 4 | 0x100)]
+
+
+class TestMissRoutine:
+    def _run_miss(self, monitored):
+        layout = MonitorLayout()
+        lines = routine_body(miss_routine(layout, 2, 4))
+        target = 0x10004000
+        loaded, hits, layout = harness(lines, target, layout)
+        if monitored:
+            bitmap = SegmentedBitmap(loaded.cpu.mem, layout)
+            from repro.core.regions import MonitoredRegion
+            bitmap.set_region(MonitoredRegion(target, 4))
+        regs = loaded.cpu.regs
+        regs.write(REGISTER_IDS["%g6"], layout.segment_of(target))
+        regs.write(REGISTER_IDS["%m2"], INVALID_SEGMENT)
+        loaded.run()
+        return hits, regs.read(REGISTER_IDS["%m2"]), layout
+
+    def test_unmonitored_segment_updates_cache(self):
+        hits, cache, layout = self._run_miss(monitored=False)
+        assert hits == []
+        assert cache == layout.segment_of(0x10004000)
+
+    def test_monitored_segment_never_cached(self):
+        hits, cache, layout = self._run_miss(monitored=True)
+        assert hits == [(0x10004000, 4)]
+        assert cache == INVALID_SEGMENT
+
+
+class TestLibrarySource:
+    def test_entry_points_present(self):
+        layout = MonitorLayout()
+        text = library_source(layout, with_cache=True, with_reads=True)
+        for name in ("__mrs_check_w4", "__mrs_check_w1", "__mrs_check_w8",
+                     "__mrs_check_r4", "__mrs_miss_0_w4",
+                     "__mrs_miss_3_w1"):
+            assert name + ":" in text
+
+    def test_library_assembles_standalone(self):
+        layout = MonitorLayout()
+        text = "\t.text\n\t.proc main\nmain:\n\tret\n\tnop\n\t.endproc\n"
+        text += library_source(layout, with_cache=True, with_reads=True)
+        program = assemble(text)
+        assert len(program.insns) > 100
+
+    def test_segment_size_parameterizes_shift(self):
+        small = library_source(MonitorLayout(128))
+        large = library_source(MonitorLayout(1024))
+        assert "srl %g4, 9," in small
+        assert "srl %g4, 12," in large

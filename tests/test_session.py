@@ -1,0 +1,70 @@
+"""Tests for the DebugSession pipeline facade and loader edge cases."""
+
+import pytest
+
+from repro.machine.costs import CostModel
+from repro.session import DebugSession, run_uninstrumented
+
+SOURCE = """
+int value;
+int main() {
+    value = 3;
+    print(value);
+    return value;
+}
+"""
+
+
+class TestDebugSession:
+    def test_from_minic_roundtrip(self):
+        session = DebugSession.from_minic(SOURCE)
+        session.mrs.enable()
+        assert session.run() == 3
+        assert session.output == ["3"]
+
+    def test_symbol_helper(self):
+        session = DebugSession.from_minic(SOURCE)
+        entry = session.symbol("value")
+        assert entry.kind == "global" and entry.size == 4
+
+    def test_unknown_symbol_raises(self):
+        from repro.asm.symtab import SymbolError
+        session = DebugSession.from_minic(SOURCE)
+        with pytest.raises(SymbolError):
+            session.symbol("missing")
+
+    def test_custom_cost_model_threads_through(self):
+        slow = CostModel(trap_base=5000)
+        fast = CostModel(trap_base=0)
+        slow_session = DebugSession.from_minic(SOURCE, costs=slow)
+        fast_session = DebugSession.from_minic(SOURCE, costs=fast)
+        slow_session.run()
+        fast_session.run()
+        # the print trap costs 5000 extra cycles in the slow model
+        assert slow_session.cpu.cycles > fast_session.cpu.cycles + 4000
+
+    def test_custom_cache_size(self):
+        session = DebugSession.from_minic(SOURCE, cache_bytes=1024)
+        assert session.cpu.cache.num_lines == 32
+        session.run()
+
+    def test_record_writes(self):
+        session = DebugSession.from_minic(SOURCE, record_writes=True)
+        session.run()
+        assert len(session.cpu.write_trace) == 1
+
+
+class TestRunUninstrumented:
+    def test_returns_loaded_program(self):
+        from repro.minic.codegen import compile_source
+        code, loaded = run_uninstrumented(compile_source(SOURCE))
+        assert code == 3
+        assert loaded.output == ["3"]
+
+    def test_instruction_budget_respected(self):
+        from repro.machine.cpu import SimulationLimit
+        from repro.minic.codegen import compile_source
+        looping = compile_source(
+            "int main() { while (1) {} return 0; }")
+        with pytest.raises(SimulationLimit):
+            run_uninstrumented(looping, max_instructions=500)

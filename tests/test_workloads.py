@@ -1,0 +1,83 @@
+"""Tests for the SPEC-mimic workloads: determinism, scaling, and
+behaviour preservation under instrumentation."""
+
+import pytest
+
+from repro.minic import compile_and_run
+from repro.minic.codegen import compile_source
+from repro.session import DebugSession, run_uninstrumented
+from repro.workloads import (C_WORKLOADS, F_WORKLOADS, WORKLOAD_ORDER,
+                             WORKLOADS, get_workload, workload_source)
+
+SMALL = 0.25
+
+
+class TestRegistry:
+    def test_ten_workloads_in_paper_order(self):
+        assert len(WORKLOAD_ORDER) == 10
+        assert WORKLOAD_ORDER[0] == "023.eqntott"
+        assert WORKLOAD_ORDER[-1] == "047.tomcatv"
+
+    def test_language_split(self):
+        assert len(C_WORKLOADS) == 4
+        assert len(F_WORKLOADS) == 6
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("999.nothing")
+
+
+@pytest.mark.parametrize("name", WORKLOAD_ORDER)
+class TestEachWorkload:
+    def test_runs_clean_and_deterministic(self, name):
+        spec = WORKLOADS[name]
+        source = workload_source(name, SMALL)
+        code1, out1, cpu1 = compile_and_run(source, lang=spec.lang)
+        code2, out2, cpu2 = compile_and_run(source, lang=spec.lang)
+        assert code1 == code2 == 0
+        assert out1 == out2
+        assert cpu1.instructions == cpu2.instructions
+
+    def test_scaling_changes_work(self, name):
+        spec = WORKLOADS[name]
+        _c, _o, small = compile_and_run(workload_source(name, SMALL),
+                                        lang=spec.lang)
+        _c, _o, large = compile_and_run(workload_source(name, 0.5),
+                                        lang=spec.lang)
+        assert large.instructions > small.instructions
+
+    def test_instrumentation_preserves_output(self, name):
+        spec = WORKLOADS[name]
+        asm = compile_source(workload_source(name, SMALL),
+                             lang=spec.lang)
+        _code, base = run_uninstrumented(asm)
+        session = DebugSession.from_asm(asm, strategy="CacheInline")
+        session.mrs.enable()
+        assert session.run() == 0
+        assert session.output == base.output
+
+
+class TestCharacteristics:
+    def test_eqntott_is_write_starved(self):
+        spec = WORKLOADS["023.eqntott"]
+        _c, _o, cpu = compile_and_run(workload_source("023.eqntott", 1.0),
+                                      lang=spec.lang)
+        assert cpu.stores / cpu.instructions < 0.03
+
+    def test_li_is_write_dense(self):
+        spec = WORKLOADS["022.li"]
+        _c, _o, cpu = compile_and_run(workload_source("022.li", SMALL),
+                                      lang=spec.lang)
+        assert cpu.stores / cpu.instructions > 0.06
+
+    def test_fortran_workloads_tagged(self):
+        for name in F_WORKLOADS:
+            source = workload_source(name, SMALL)
+            asm = compile_source(source, lang=WORKLOADS[name].lang)
+            assert ".lang F" in asm
+
+    def test_li_recursion_exceeds_register_windows(self):
+        spec = WORKLOADS["022.li"]
+        _c, _o, cpu = compile_and_run(workload_source("022.li", SMALL),
+                                      lang=spec.lang)
+        assert cpu.max_window_depth > 8
