@@ -14,12 +14,14 @@ insert statements freely without address fixups.
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 from typing import List, Optional, Tuple, Union
 
 from repro.isa.registers import REGISTER_IDS, register_name
 
 
-class AsmSyntaxError(Exception):
+class AsmSyntaxError(ReproError):
     """Raised for malformed assembly input."""
 
     def __init__(self, message: str, line_no: int = 0):

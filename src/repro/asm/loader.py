@@ -31,9 +31,14 @@ class LoadedProgram:
         self.output = output
         self.entry = entry
 
-    def run(self, max_instructions: int = 400_000_000) -> int:
-        return self.cpu.run(start=self.entry,
-                            max_instructions=max_instructions)
+    def run(self, max_instructions: int = 400_000_000,
+            watchdog=None, resume: bool = False) -> int:
+        """Run from the entry stub; with ``resume=True``, continue from
+        the current pc instead (e.g. after a watchdog
+        :class:`~repro.machine.cpu.SimulationLimit`)."""
+        return self.cpu.run(start=None if resume else self.entry,
+                            max_instructions=max_instructions,
+                            watchdog=watchdog)
 
     def output_text(self) -> str:
         return "".join(

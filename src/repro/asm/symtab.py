@@ -15,10 +15,12 @@ Kinds:
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 from typing import Dict, Iterable, List, Optional
 
 
-class SymbolError(Exception):
+class SymbolError(ReproError):
     """Raised for unknown or unmonitorable symbols."""
 
 

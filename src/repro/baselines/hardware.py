@@ -9,6 +9,8 @@ mode this model exhibits.
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 from typing import Callable, List, Optional
 
 from repro.asm.loader import LoadedProgram
@@ -18,7 +20,7 @@ from repro.core.regions import MonitoredRegion
 CAPACITIES = {"i386": 4, "R4000": 1, "SPARC": 1}
 
 
-class WatchpointCapacityError(Exception):
+class WatchpointCapacityError(ReproError):
     """The debugging request needs more watched words than the hardware
     provides — the §1 argument against hardware-only data breakpoints."""
 

@@ -17,10 +17,11 @@ target range.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.layout import MonitorLayout
 from repro.core.regions import MonitoredRegion
+from repro.core.transactions import UndoJournal
 from repro.machine.memory import Memory
 
 
@@ -37,17 +38,27 @@ class SuperpageIndex:
         last = self.layout.superpage_of(region.end - 1)
         return range(first, last + 1)
 
-    def add_region(self, region: MonitoredRegion) -> None:
+    def add_region(self, region: MonitoredRegion,
+                   journal: Optional[UndoJournal] = None) -> None:
         for page in self._superpages(region):
             count = self._counts.get(page, 0) + 1
+            if journal is not None:
+                journal.record_dict_entry(self._counts, page)
+                journal.record_memory_word(
+                    self.memory, self.layout.superpage_entry(page))
             self._counts[page] = count
             self.memory.write_word(self.layout.superpage_entry(page), count)
 
-    def remove_region(self, region: MonitoredRegion) -> None:
+    def remove_region(self, region: MonitoredRegion,
+                      journal: Optional[UndoJournal] = None) -> None:
         for page in self._superpages(region):
             count = self._counts.get(page, 0) - 1
             if count < 0:
                 raise ValueError("superpage count underflow")
+            if journal is not None:
+                journal.record_dict_entry(self._counts, page)
+                journal.record_memory_word(
+                    self.memory, self.layout.superpage_entry(page))
             self._counts[page] = count
             self.memory.write_word(self.layout.superpage_entry(page), count)
 

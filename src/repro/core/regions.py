@@ -9,9 +9,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.errors import ReproError
 
-class RegionError(Exception):
-    """Raised for invalid region arguments (alignment, overlap, ...)."""
+
+class RegionError(ReproError):
+    """Raised for invalid region arguments (alignment, overlap, unknown
+    region on delete, ...)."""
 
 
 class MonitoredRegion:
@@ -65,16 +68,28 @@ class RegionSet:
     def __init__(self):
         self._regions: Dict[Tuple[int, int], MonitoredRegion] = {}
 
-    def add(self, region: MonitoredRegion) -> None:
+    def add(self, region: MonitoredRegion, journal=None) -> None:
         for existing in self._regions.values():
             if region.overlaps(existing):
-                raise RegionError("%r overlaps %r" % (region, existing))
+                raise RegionError("%r overlaps %r" % (region, existing),
+                                  region=region.key(),
+                                  existing=existing.key())
+        if journal is not None:
+            journal.record_dict_entry(self._regions, region.key())
         self._regions[region.key()] = region
 
-    def remove(self, region: MonitoredRegion) -> None:
+    def remove(self, region: MonitoredRegion, journal=None) -> None:
         if region.key() not in self._regions:
-            raise RegionError("%r is not monitored" % region)
+            raise RegionError(
+                "%r is not monitored (unknown or already deleted)"
+                % region, region=region.key())
+        if journal is not None:
+            journal.record_dict_entry(self._regions, region.key())
         del self._regions[region.key()]
+
+    def __contains__(self, region: MonitoredRegion) -> bool:
+        return isinstance(region, MonitoredRegion) and \
+            region.key() in self._regions
 
     def __len__(self) -> int:
         return len(self._regions)

@@ -13,6 +13,16 @@ Interface, following the paper:
 * :meth:`pre_monitor` / :meth:`post_monitor` — the §4.2 operations that
   re-insert / remove checks on *known* write instructions for a symbol;
 * :meth:`enable` / :meth:`disable` — the global disabled flag (§2.1).
+
+Every one of those entry points is **transactional**: mutations are
+journaled (:mod:`repro.core.transactions`) and any failure — injected
+via a :class:`~repro.faults.FaultPlan` or real — rolls the bitmap,
+superpage counts, region set, patch state and reserved registers back
+to the pre-call state bit-identically, then surfaces as an
+:class:`~repro.errors.MrsTransactionError` subclass carrying structured
+context (region, symbol, patch site, pc).  Argument errors detected
+before any mutation (overlap, alignment, unknown region) still raise
+:class:`~repro.core.regions.RegionError` directly.
 """
 
 from __future__ import annotations
@@ -21,11 +31,16 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.asm.loader import LoadedProgram
 from repro.core.bitmap import SegmentedBitmap
+from repro.core.patches import PatchManager
 from repro.core.ranges import SuperpageIndex
-from repro.core.regions import MonitoredRegion, RegionSet
+from repro.core.regions import MonitoredRegion, RegionError, RegionSet
 from repro.core.runtime_asm import INVALID_SEGMENT, NUM_WRITE_TYPES
+from repro.core.transactions import UndoJournal
+from repro.errors import (MonitorPatchError, MrsError, MrsTransactionError,
+                          RegionCreateError, RegionDeleteError)
+from repro.faults import (FaultPlan, SERVICE_CREATE, SERVICE_DELETE,
+                          SERVICE_POST_MONITOR, SERVICE_PRE_MONITOR)
 from repro.instrument.rewriter import InstrumentResult
-from repro.isa import instructions as I
 from repro.isa.registers import REGISTER_IDS
 
 TRAP_MONITOR_HIT = 0x42
@@ -41,14 +56,14 @@ _G6 = REGISTER_IDS["%g6"]
 #: callback signature: (target_address, size_bytes, is_read)
 NotificationCallBack = Callable[[int, int, bool], None]
 
-
-class MrsError(Exception):
-    """Raised for invalid MRS operations."""
+__all__ = ["MonitoredRegionService", "MrsError", "NotificationCallBack",
+           "TRAP_MONITOR_HIT", "TRAP_PREHEADER_HIT", "TRAP_JMP_CHECK"]
 
 
 class MonitoredRegionService:
     def __init__(self, loaded: LoadedProgram,
-                 instrumentation: InstrumentResult):
+                 instrumentation: InstrumentResult,
+                 faults: Optional[FaultPlan] = None):
         if instrumentation.program is None:
             raise MrsError("instrumentation must be assembled before "
                            "attaching the MRS")
@@ -56,18 +71,30 @@ class MonitoredRegionService:
         self.cpu = loaded.cpu
         self.inst = instrumentation
         self.layout = instrumentation.layout
-        self.bitmap = SegmentedBitmap(self.cpu.mem, self.layout)
+        self.faults = faults
+        self.bitmap = SegmentedBitmap(self.cpu.mem, self.layout,
+                                      faults=faults)
         self.superpages = SuperpageIndex(self.cpu.mem, self.layout)
         self.regions = RegionSet()
+        self.patches = PatchManager(self.cpu, instrumentation.patchable,
+                                    faults=faults)
         #: every (addr, size, is_read) notification, in order
         self.hits: List[Tuple[int, int, bool]] = []
         self.callbacks: List[NotificationCallBack] = []
         #: per-loop count of pre-header check hits
         self.preheader_hits: Dict[int, int] = {}
-        #: per-site activation reason counts ("symbol"/"loop")
-        self._active_reasons: Dict[int, Dict[str, int]] = {}
         self.enabled = False
         self._install()
+
+    # -- compatibility: the patch refcounts used to live on the service ------
+
+    @property
+    def _active_reasons(self) -> Dict[int, Dict[str, int]]:
+        return self.patches.reasons
+
+    @_active_reasons.setter
+    def _active_reasons(self, value: Dict[int, Dict[str, int]]) -> None:
+        self.patches.reasons = value
 
     # -- setup --------------------------------------------------------------
 
@@ -106,7 +133,7 @@ class MonitoredRegionService:
         for site in self.inst.plan.loop_sites.get(loop_id, ()):
             # idempotent: the pre-header fires once per loop entry but
             # the site needs only one "loop" activation
-            if "loop" not in self._active_reasons.get(site, {}):
+            if not self.patches.has_reason(site, "loop"):
                 self._activate(site, "loop")
 
     def _on_jmp_check(self, cpu) -> None:
@@ -121,7 +148,7 @@ class MonitoredRegionService:
         if not (text_lo <= target < text_hi):
             from repro.machine.traps import DebuggeeFault
             raise DebuggeeFault("indirect jump to 0x%x outside text"
-                                % target)
+                                % target, target=target, pc=cpu.pc)
 
     # -- the §2 interface ---------------------------------------------------------
 
@@ -133,67 +160,146 @@ class MonitoredRegionService:
         self.enabled = True
 
     def disable(self) -> None:
+        """Set the global disabled flag (§2.1).  Idempotent."""
         self.cpu.regs.write(_G2, 1)
         self.enabled = False
 
+    def _rollback(self, journal: UndoJournal) -> None:
+        """Undo a failed operation with fault injection suspended, so a
+        pathological schedule cannot break the recovery path itself."""
+        if self.faults is not None:
+            with self.faults.suspended():
+                journal.rollback()
+        else:
+            journal.rollback()
+
     def create_region(self, start: int, size: int,
                       mid_run: bool = False) -> MonitoredRegion:
-        """§2 ``CreateMonitoredRegion``.
+        """§2 ``CreateMonitoredRegion`` — transactional.
 
         Pass ``mid_run=True`` when the debuggee is stopped *inside*
         running code (e.g. at a breakpoint): loops whose pre-header
         checks already executed this entry would otherwise miss the new
         region until their next entry, so their eliminated checks are
         conservatively re-inserted.
+
+        On any failure after validation, every touched structure is
+        rolled back and :class:`RegionCreateError` is raised with the
+        original failure chained.
         """
-        region = MonitoredRegion(start, size)
-        self.regions.add(region)
-        touched = self.bitmap.set_region(region)
-        self.superpages.add_region(region)
-        self._invalidate_caches(touched)
-        if mid_run:
-            self.activate_loop_checks()
+        region = MonitoredRegion(start, size)   # validates, mutates nothing
+        if self.faults is not None:
+            self.faults.trip(SERVICE_CREATE, region=region.key(),
+                             pc=self.cpu.pc)
+        journal = UndoJournal()
+        try:
+            self.regions.add(region, journal)
+            touched = self.bitmap.set_region(region, journal)
+            self.superpages.add_region(region, journal)
+            self._invalidate_caches(touched, journal)
+            if mid_run:
+                self.activate_loop_checks(journal)
+        except RegionError:
+            self._rollback(journal)
+            raise
+        except Exception as exc:
+            self._rollback(journal)
+            raise RegionCreateError(
+                "CreateMonitoredRegion(0x%x, %d) failed; state rolled "
+                "back" % (start, size), region=(start, size),
+                pc=self.cpu.pc) from exc
+        journal.commit()
         return region
 
-    def activate_loop_checks(self) -> int:
+    def activate_loop_checks(self,
+                             journal: Optional[UndoJournal] = None) -> int:
         """Conservatively re-insert every loop-eliminated check (they
         retract when the last region is deleted).  Returns the number of
         sites activated."""
         activated = 0
         for loop_id, sites in self.inst.plan.loop_sites.items():
             for site in sites:
-                if "loop" not in self._active_reasons.get(site, {}):
-                    self._activate(site, "loop")
+                if not self.patches.has_reason(site, "loop"):
+                    self._activate(site, "loop", journal)
                     activated += 1
         return activated
 
     def delete_region(self, region: MonitoredRegion) -> None:
-        self.regions.remove(region)
-        self.bitmap.clear_region(region)
-        self.superpages.remove_region(region)
-        if len(self.regions) == 0:
-            # no regions left: retract all loop-activated checks
-            for site in list(self._active_reasons):
-                self._deactivate(site, "loop")
+        """§2 ``DeleteMonitoredRegion`` — transactional.
+
+        Deleting a region that is unknown or already deleted raises a
+        clear :class:`RegionError` before anything is touched, so a
+        confused caller cannot corrupt the bitmap counts.
+        """
+        if region not in self.regions:
+            raise RegionError(
+                "cannot delete %r: not currently monitored (unknown or "
+                "already deleted)" % (region,),
+                region=getattr(region, "key", lambda: region)())
+        if self.faults is not None:
+            self.faults.trip(SERVICE_DELETE, region=region.key(),
+                             pc=self.cpu.pc)
+        journal = UndoJournal()
+        try:
+            self.regions.remove(region, journal)
+            self.bitmap.clear_region(region, journal)
+            self.superpages.remove_region(region, journal)
+            if len(self.regions) == 0:
+                # no regions left: retract all loop-activated checks
+                for site in list(self.patches.reasons):
+                    self._deactivate(site, "loop", journal)
+        except Exception as exc:
+            self._rollback(journal)
+            raise RegionDeleteError(
+                "DeleteMonitoredRegion(%r) failed; state rolled back"
+                % (region,), region=region.key(),
+                pc=self.cpu.pc) from exc
+        journal.commit()
 
     # -- §4.2 PreMonitor / PostMonitor -----------------------------------------
 
     def pre_monitor(self, symbol: str, func: Optional[str] = None) -> int:
-        """Re-insert checks on the known writes of *symbol*.
+        """Re-insert checks on the known writes of *symbol* —
+        transactional across all of the symbol's sites.
 
         Returns the number of sites patched.  The caller should follow
         with :meth:`create_region` on the symbol's storage, since the
         symbol can also be written through aliases (§4.2).
         """
         sites = self._symbol_site_list(symbol, func)
-        for site in sites:
-            self._activate(site, "symbol")
+        if self.faults is not None:
+            self.faults.trip(SERVICE_PRE_MONITOR, symbol=symbol,
+                             sites=len(sites), pc=self.cpu.pc)
+        journal = UndoJournal()
+        try:
+            for site in sites:
+                self._activate(site, "symbol", journal)
+        except Exception as exc:
+            self._rollback(journal)
+            raise MonitorPatchError(
+                "PreMonitor(%r) failed; patches rolled back" % symbol,
+                symbol=symbol, pc=self.cpu.pc) from exc
+        journal.commit()
         return len(sites)
 
     def post_monitor(self, symbol: str, func: Optional[str] = None) -> int:
+        """Remove :meth:`pre_monitor` patches for *symbol* —
+        transactional, and a no-op for sites not currently activated
+        (double ``PostMonitor`` is harmless)."""
         sites = self._symbol_site_list(symbol, func)
-        for site in sites:
-            self._deactivate(site, "symbol")
+        if self.faults is not None:
+            self.faults.trip(SERVICE_POST_MONITOR, symbol=symbol,
+                             sites=len(sites), pc=self.cpu.pc)
+        journal = UndoJournal()
+        try:
+            for site in sites:
+                self._deactivate(site, "symbol", journal)
+        except Exception as exc:
+            self._rollback(journal)
+            raise MonitorPatchError(
+                "PostMonitor(%r) failed; patches rolled back" % symbol,
+                symbol=symbol, pc=self.cpu.pc) from exc
+        journal.commit()
         return len(sites)
 
     def _symbol_site_list(self, symbol: str,
@@ -207,41 +313,23 @@ class MonitoredRegionService:
                 sites.extend(site_list)
         return sites
 
-    # -- dynamic patching --------------------------------------------------------
+    # -- dynamic patching (delegated to the PatchManager) -----------------------
 
-    def _activate(self, site: int, reason: str) -> None:
-        info = self.inst.patchable.get(site)
-        if info is None:
-            return  # site was never eliminated; its inline check stands
-        reasons = self._active_reasons.setdefault(site, {})
-        if not reasons:
-            branch = I.BranchInsn("a", info.patch_addr, annul=True)
-            branch.tag = "patch"
-            self.cpu.code.patch(info.addr, branch)
-            info.active = True
-        reasons[reason] = reasons.get(reason, 0) + 1
+    def _activate(self, site: int, reason: str,
+                  journal: Optional[UndoJournal] = None) -> None:
+        self.patches.activate(site, reason, journal)
 
-    def _deactivate(self, site: int, reason: str) -> None:
-        info = self.inst.patchable.get(site)
-        if info is None:
-            return
-        reasons = self._active_reasons.get(site)
-        if not reasons or reason not in reasons:
-            return
-        reasons[reason] -= 1
-        if reasons[reason] <= 0:
-            del reasons[reason]
-        if not reasons:
-            self.cpu.code.patch(info.addr, info.original_insn)
-            info.active = False
-            del self._active_reasons[site]
+    def _deactivate(self, site: int, reason: str,
+                    journal: Optional[UndoJournal] = None) -> None:
+        self.patches.deactivate(site, reason, journal)
 
     def active_sites(self) -> List[int]:
-        return sorted(self._active_reasons)
+        return self.patches.active_sites()
 
     # -- cache invalidation -------------------------------------------------------
 
-    def _invalidate_caches(self, touched_segments) -> None:
+    def _invalidate_caches(self, touched_segments,
+                           journal: Optional[UndoJournal] = None) -> None:
         """Creating a region in segment S invalidates any %m cache
         holding S: the caches may only name unmonitored segments (§3.1).
         """
@@ -249,6 +337,8 @@ class MonitoredRegionService:
         for k in range(NUM_WRITE_TYPES):
             rid = REGISTER_IDS["%%m%d" % k]
             if regs.read(rid) in touched_segments:
+                if journal is not None:
+                    journal.record_register(regs, rid)
                 regs.write(rid, INVALID_SEGMENT)
 
     # -- introspection -------------------------------------------------------------

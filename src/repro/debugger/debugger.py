@@ -21,6 +21,7 @@ import re
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.asm.symtab import SymbolError, SymEntry
+from repro.errors import ReproError
 from repro.isa.instructions import to_signed
 from repro.core.regions import MonitoredRegion
 from repro.instrument.plan import OptimizationPlan
@@ -35,7 +36,7 @@ TRAP_BREAKPOINT = 0x48
 _INDEX_RE = re.compile(r"^(\w+)\[(\d+)\]$")
 
 
-class DebuggerError(Exception):
+class DebuggerError(ReproError):
     """Raised for unresolvable names or invalid debugger requests."""
 
 

@@ -1,0 +1,113 @@
+"""Common exception hierarchy for the reproduction.
+
+Every exception the repro packages raise derives from :class:`ReproError`
+so callers can catch "anything this system signalled" with one clause
+while narrower handlers keep working — each concrete class (``MrsError``,
+``RegionError``, ``MemoryFault``, ``SimulationError``, ...) keeps its
+historical name and import path in the module that owns its subsystem.
+
+``ReproError`` also standardises *structured context*: keyword arguments
+passed at raise time are stored on ``exc.context`` (and rendered in the
+message), so the robustness machinery can report which region, segment,
+patch site or pc an operation was touching when it failed, without
+callers having to parse message strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return "0x%x" % value if value > 256 else str(value)
+    return repr(value)
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro packages.
+
+    Positional arguments behave exactly like :class:`Exception`;
+    keyword arguments become structured context on :attr:`context`.
+    """
+
+    def __init__(self, *args: Any, **context: Any):
+        super().__init__(*args)
+        self.context: Dict[str, Any] = context
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.context:
+            return base
+        detail = ", ".join("%s=%s" % (key, _format_value(value))
+                           for key, value in sorted(self.context.items()))
+        return "%s [%s]" % (base, detail) if base else "[%s]" % detail
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately raised by a :class:`repro.faults.FaultPlan`.
+
+    Carries the injection *point* name and the zero-based *occurrence*
+    index at which the plan fired, plus whatever context the injection
+    site supplied (region, segment, site, pc, ...).
+    """
+
+    def __init__(self, point: str, occurrence: int, **context: Any):
+        super().__init__("injected fault at %s" % point,
+                         point=point, occurrence=occurrence, **context)
+        self.point = point
+        self.occurrence = occurrence
+
+
+# -- monitored region service --------------------------------------------------
+
+class MrsError(ReproError):
+    """Raised for invalid MRS operations.
+
+    Defined here (rather than in :mod:`repro.core.service`) so the
+    dynamic-patching layer can subclass it without importing the
+    service; ``repro.core.service`` re-exports it, so existing
+    ``from repro.core.service import MrsError`` imports and ``except``
+    clauses keep working.
+    """
+
+
+class MrsTransactionError(MrsError):
+    """An MRS operation failed and was rolled back to its pre-call state.
+
+    The original failure (injected or real) is chained as ``__cause__``;
+    :attr:`context` names the operation's target (region, symbol, patch
+    site) and the debuggee pc at the time of the call.
+    """
+
+    @property
+    def region(self):
+        return self.context.get("region")
+
+    @property
+    def segment(self):
+        return self.context.get("segment")
+
+    @property
+    def site(self):
+        return self.context.get("site")
+
+    @property
+    def pc(self):
+        return self.context.get("pc")
+
+
+class RegionCreateError(MrsTransactionError):
+    """``CreateMonitoredRegion`` failed; all state was rolled back."""
+
+
+class RegionDeleteError(MrsTransactionError):
+    """``DeleteMonitoredRegion`` failed; all state was rolled back."""
+
+
+class MonitorPatchError(MrsTransactionError):
+    """``PreMonitor``/``PostMonitor`` failed; patches were rolled back."""
+
+
+class PatchError(MrsTransactionError):
+    """Installing or removing a single Kessler patch failed."""

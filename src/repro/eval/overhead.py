@@ -4,6 +4,12 @@ The protocol follows §3.3: the monitored region service is attached and
 *enabled* but no monitored regions exist (Table 1 overheads are
 "independent of the number of breakpoints in use"); the "Disabled" row
 runs the same binary with the global disabled flag set.
+
+Graceful degradation: a bench may be given a cycle/instruction/trap
+budget (directly or via a :class:`~repro.faults.FaultPlan`).  When the
+watchdog trips, runs return partial counts instead of raising, and the
+derived overheads are :class:`Partial` floats marked ``truncated`` so
+they stay distinguishable through averaging and formatting.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.layout import MonitorLayout
+from repro.faults import FaultPlan
 from repro.instrument.plan import OptimizationPlan
 from repro.machine.costs import CostModel, DEFAULT_COSTS
 from repro.minic.codegen import compile_source
@@ -18,15 +25,37 @@ from repro.session import DebugSession, run_uninstrumented
 from repro.workloads import WORKLOADS, workload_source
 
 
+class Partial(float):
+    """A measurement cut short by a watchdog budget.
+
+    Behaves as a plain float in arithmetic and formatting, but carries
+    ``truncated = True`` so tables can flag it and averages can
+    propagate the mark.
+    """
+
+    truncated = True
+
+
+def truncated(value) -> bool:
+    """True if *value* (a float or RunResult) was cut short."""
+    return bool(getattr(value, "truncated", False))
+
+
 class RunResult:
-    """Cycle/instruction counts of one simulated run."""
+    """Cycle/instruction counts of one simulated run.
+
+    ``truncated`` is True when the run was stopped by a watchdog budget
+    rather than running to completion; the counts then cover only the
+    executed prefix.
+    """
 
     __slots__ = ("cycles", "instructions", "stores", "tag_cycles",
-                 "tag_counts", "output", "hits", "session")
+                 "tag_counts", "output", "hits", "session", "truncated")
 
     def __init__(self, cycles: int, instructions: int, stores: int,
                  tag_cycles: Dict[str, int], tag_counts: Dict[str, int],
-                 output: List[str], hits: int = 0, session=None):
+                 output: List[str], hits: int = 0, session=None,
+                 truncated: bool = False):
         self.cycles = cycles
         self.instructions = instructions
         self.stores = stores
@@ -35,18 +64,28 @@ class RunResult:
         self.output = output
         self.hits = hits
         self.session = session
+        self.truncated = truncated
 
 
 class WorkloadBench:
-    """One workload, compiled once, runnable under many configurations."""
+    """One workload, compiled once, runnable under many configurations.
+
+    *max_instructions* and/or *faults* (a :class:`FaultPlan` with
+    budgets) bound every run; exhausting a budget yields a truncated
+    :class:`RunResult` instead of an exception.
+    """
 
     def __init__(self, name: str, scale: float = 1.0,
                  costs: CostModel = DEFAULT_COSTS,
-                 cache_bytes: Optional[int] = None):
+                 cache_bytes: Optional[int] = None,
+                 max_instructions: Optional[int] = None,
+                 faults: Optional[FaultPlan] = None):
         self.name = name
         self.spec = WORKLOADS[name]
         self.scale = scale
         self.costs = costs
+        self.max_instructions = max_instructions
+        self.faults = faults
         from repro.machine.cache import DEFAULT_CACHE_BYTES
         self.cache_bytes = cache_bytes if cache_bytes is not None \
             else DEFAULT_CACHE_BYTES
@@ -54,17 +93,32 @@ class WorkloadBench:
                                   lang=self.spec.lang)
         self._baseline: Optional[RunResult] = None
 
+    def _budget_watchdog(self, mrs=None, output=None):
+        """Watchdog for one run, or None when the bench is unbounded."""
+        if self.faults is not None:
+            watchdog = self.faults.watchdog(mrs=mrs, output=output)
+            if watchdog is not None:
+                return watchdog
+        if self.max_instructions is not None:
+            from repro.machine.cpu import Watchdog
+            return Watchdog(max_instructions=self.max_instructions,
+                            snapshot=False, mrs=mrs, output=output)
+        return None
+
     def baseline(self, record_writes: bool = False) -> RunResult:
         if self._baseline is None or record_writes:
             code, loaded = run_uninstrumented(
                 self.asm, costs=self.costs, record_writes=record_writes,
-                cache_bytes=self.cache_bytes)
-            if code != 0:
+                cache_bytes=self.cache_bytes,
+                watchdog=self._budget_watchdog(), on_limit="partial")
+            was_cut = code is None
+            if not was_cut and code != 0:
                 raise RuntimeError("%s exited with %d" % (self.name, code))
             cpu = loaded.cpu
             result = RunResult(cpu.cycles, cpu.instructions, cpu.stores,
                                dict(cpu.tag_cycles), dict(cpu.tag_counts),
-                               list(loaded.output), session=loaded)
+                               list(loaded.output), session=loaded,
+                               truncated=was_cut)
             if not record_writes:
                 self._baseline = result
             return result
@@ -76,34 +130,60 @@ class WorkloadBench:
                          layout: Optional[MonitorLayout] = None,
                          record_writes: bool = False,
                          regions: Optional[List] = None) -> RunResult:
+        from repro.machine.cpu import SimulationLimit
+
         session = DebugSession.from_asm(
             self.asm, strategy=strategy, plan=plan, layout=layout,
             costs=self.costs, record_writes=record_writes,
-            cache_bytes=self.cache_bytes)
+            cache_bytes=self.cache_bytes, faults=self.faults)
         if enabled:
             session.mrs.enable()
         for start, size in regions or ():
             session.mrs.create_region(start, size)
-        code = session.run()
-        if code != 0:
+        watchdog = self._budget_watchdog(mrs=session.mrs,
+                                         output=session.output)
+        was_cut = False
+        try:
+            code = session.run(watchdog=watchdog)
+        except SimulationLimit:
+            was_cut = True
+            code = None
+        if not was_cut and code != 0:
             raise RuntimeError("%s/%s exited with %d"
                                % (self.name, strategy, code))
         base = self.baseline()
-        if session.output != base.output:
+        # a truncated run stops mid-stream, so its output is a prefix at
+        # best — only a complete pair must match exactly
+        if not was_cut and not base.truncated \
+                and session.output != base.output:
             raise RuntimeError("%s/%s changed program output"
                                % (self.name, strategy))
         cpu = session.cpu
         return RunResult(cpu.cycles, cpu.instructions, cpu.stores,
                          dict(cpu.tag_cycles), dict(cpu.tag_counts),
                          list(session.output),
-                         hits=session.mrs.hit_count(), session=session)
+                         hits=session.mrs.hit_count(), session=session,
+                         truncated=was_cut)
 
     def overhead(self, strategy: str, **kwargs) -> float:
-        """Percent overhead of *strategy* relative to the baseline."""
+        """Percent overhead of *strategy* relative to the baseline.
+
+        Returns a :class:`Partial` when either run was truncated by a
+        watchdog budget.
+        """
         instrumented = self.run_instrumented(strategy, **kwargs)
         base = self.baseline()
-        return 100.0 * (instrumented.cycles / base.cycles - 1.0)
+        value = 100.0 * (instrumented.cycles / base.cycles - 1.0)
+        if instrumented.truncated or base.truncated:
+            return Partial(value)
+        return value
 
 
 def average(values: List[float]) -> float:
-    return sum(values) / len(values) if values else 0.0
+    """Mean of *values*; :class:`Partial` if any input was truncated."""
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if any(truncated(v) for v in values):
+        return Partial(mean)
+    return mean

@@ -9,18 +9,25 @@ from __future__ import annotations
 import sys
 from typing import Dict, List, Optional
 
-from repro.eval.overhead import WorkloadBench, average
+from repro.eval.overhead import WorkloadBench, average, truncated
 from repro.eval.paper_data import TABLE1, TABLE1_AVERAGES, TABLE1_COLUMNS
 from repro.workloads import C_WORKLOADS, F_WORKLOADS, WORKLOAD_ORDER, \
     WORKLOADS
 
 
 def measure_workload(name: str, scale: float = 1.0,
-                     columns: Optional[List[str]] = None
-                     ) -> Dict[str, float]:
-    """Overhead (%) of each Table 1 column for one workload."""
+                     columns: Optional[List[str]] = None,
+                     max_instructions: Optional[int] = None,
+                     faults=None) -> Dict[str, float]:
+    """Overhead (%) of each Table 1 column for one workload.
+
+    *max_instructions* / *faults* (a :class:`~repro.faults.FaultPlan`,
+    possibly carrying cycle budgets) bound each run; cells whose runs
+    were cut short come back as truncated :class:`Partial` values.
+    """
     columns = columns or TABLE1_COLUMNS
-    bench = WorkloadBench(name, scale=scale)
+    bench = WorkloadBench(name, scale=scale,
+                          max_instructions=max_instructions, faults=faults)
     results: Dict[str, float] = {}
     for column in columns:
         if column == "Disabled":
@@ -31,10 +38,14 @@ def measure_workload(name: str, scale: float = 1.0,
 
 
 def measure_table1(scale: float = 1.0,
-                   workloads: Optional[List[str]] = None
-                   ) -> Dict[str, Dict[str, float]]:
+                   workloads: Optional[List[str]] = None,
+                   max_instructions: Optional[int] = None,
+                   faults=None) -> Dict[str, Dict[str, float]]:
     workloads = workloads or WORKLOAD_ORDER
-    return {name: measure_workload(name, scale) for name in workloads}
+    return {name: measure_workload(name, scale,
+                                   max_instructions=max_instructions,
+                                   faults=faults)
+            for name in workloads}
 
 
 def summarize(results: Dict[str, Dict[str, float]]
@@ -51,28 +62,41 @@ def summarize(results: Dict[str, Dict[str, float]]
     return summary
 
 
+def _cell(value: float) -> str:
+    """One 14-wide table cell; truncated measurements get a ``*``."""
+    if truncated(value):
+        return "%12.1f%%*" % value
+    return "%13.1f%%" % value
+
+
 def format_table(results: Dict[str, Dict[str, float]],
                  with_paper: bool = True) -> str:
     columns = TABLE1_COLUMNS
     header = ["%-18s" % "Program"] + ["%14s" % c[:14] for c in columns]
     lines = ["".join(header), "-" * (18 + 14 * len(columns))]
+    any_truncated = False
     for name in results:
         lang = WORKLOADS[name].lang
         row = ["(%s) %-14s" % (lang, name)]
-        row += ["%13.1f%%" % results[name][c] for c in columns]
+        row += [_cell(results[name][c]) for c in columns]
+        any_truncated = any_truncated or \
+            any(truncated(results[name][c]) for c in columns)
         lines.append("".join(row))
     lines.append("-" * (18 + 14 * len(columns)))
     for group, row in summarize(results).items():
         label = {"C": "C AVERAGE", "F": "FORTRAN AVERAGE",
                  "overall": "OVERALL AVERAGE"}[group]
         cells = ["%-18s" % label]
-        cells += ["%13.1f%%" % row[c] for c in columns]
+        cells += [_cell(row[c]) for c in columns]
         lines.append("".join(cells))
         if with_paper and group in TABLE1_AVERAGES:
             cells = ["%-18s" % ("  (paper)")]
             cells += ["%13.1f%%" % TABLE1_AVERAGES[group][c]
                       for c in columns]
             lines.append("".join(cells))
+    if any_truncated:
+        lines.append("* = run truncated by a watchdog budget; "
+                     "overhead covers only the executed prefix")
     return "\n".join(lines)
 
 

@@ -20,6 +20,8 @@ each group gets its own segment-cache register:
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 from typing import Dict, List, NamedTuple, Optional
 
 from repro.asm.ast import (AsmInsn, CC_MNEMONICS, Label, Mem, Reg,
@@ -29,7 +31,7 @@ from repro.core.runtime_asm import (WRITE_TYPE_BSS, WRITE_TYPE_BSS_VAR,
 from repro.isa.registers import FP, REGISTER_IDS, SP
 
 
-class InstrumentError(Exception):
+class InstrumentError(ReproError):
     """Raised when a program cannot be instrumented safely."""
 
 

@@ -17,6 +17,8 @@ region service (see DESIGN.md §3).
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 from typing import Optional
 
 from repro.isa.registers import register_name
@@ -29,7 +31,7 @@ SIMM13_MIN = -4096
 SIMM13_MAX = 4095
 
 
-class IsaError(Exception):
+class IsaError(ReproError):
     """Raised for malformed instructions (bad immediate, bad operand)."""
 
 

@@ -18,6 +18,8 @@ strings.
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 from typing import Dict, List
 
 WORD_MASK = 0xFFFFFFFF
@@ -99,7 +101,7 @@ class _Window:
         self.parent = parent
 
 
-class WindowError(Exception):
+class WindowError(ReproError):
     """Raised on ``restore`` with no saved window."""
 
 

@@ -26,7 +26,7 @@ class Checkpoint:
 
     __slots__ = ("pc", "npc", "icc", "globals", "monitors", "windows",
                  "window_counters", "memory_words", "brk", "code_insns",
-                 "cycles", "instructions", "loads", "stores",
+                 "cycles", "instructions", "loads", "stores", "traps_taken",
                  "tag_cycles", "tag_counts", "cache_lines", "cache_stats",
                  "output_len", "mrs_state")
 
@@ -47,6 +47,7 @@ class Checkpoint:
         self.instructions = cpu.instructions
         self.loads = cpu.loads
         self.stores = cpu.stores
+        self.traps_taken = cpu.traps_taken
         self.tag_cycles = dict(cpu.tag_cycles)
         self.tag_counts = dict(cpu.tag_counts)
         self.cache_lines = list(cpu.cache.lines)
@@ -72,6 +73,7 @@ class Checkpoint:
         cpu.instructions = self.instructions
         cpu.loads = self.loads
         cpu.stores = self.stores
+        cpu.traps_taken = self.traps_taken
         cpu.tag_cycles = dict(self.tag_cycles)
         cpu.tag_counts = dict(self.tag_counts)
         cpu.cache.lines[:] = self.cache_lines
@@ -138,3 +140,8 @@ def _restore_mrs(mrs, state: Dict) -> None:
     mrs.bitmap._arena_next = arena_next
     mrs.superpages._counts = dict(state["superpages"])
     mrs.enabled = state["enabled"]
+    # code space was rewound above; make the per-site active flags agree
+    # with the restored activation refcounts
+    patches = getattr(mrs, "patches", None)
+    if patches is not None:
+        patches.sync_active_flags()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.isa.instructions import Instruction
 from repro.isa.registers import RegisterFile
 from repro.machine.cache import DirectMappedCache
@@ -20,13 +21,89 @@ from repro.machine.memory import Memory
 
 WORD_MASK = 0xFFFFFFFF
 
+_INFINITY = float("inf")
 
-class SimulationError(Exception):
+
+class SimulationError(ReproError):
     """Raised on invalid execution (bad pc, unknown trap, ...)."""
 
 
 class SimulationLimit(SimulationError):
-    """Raised when the instruction budget is exhausted."""
+    """A watchdog budget (instructions, cycles or traps) was exhausted.
+
+    This is *resumable*, not fatal: the CPU state is left intact at the
+    instruction boundary where the budget tripped, so calling
+    :meth:`CPU.run` again (with a fresh or re-armed watchdog) continues
+    the simulation.  When the watchdog snapshots, :attr:`checkpoint`
+    carries a full :class:`~repro.machine.checkpoint.Checkpoint` of the
+    debuggee taken at the limit, so a harness can also rewind or fork.
+    :attr:`context` records the budget kind, pc, cycles and instruction
+    count at the limit.
+    """
+
+    def __init__(self, *args, checkpoint=None, **context):
+        super().__init__(*args, **context)
+        self.checkpoint = checkpoint
+
+    @property
+    def budget(self) -> Optional[str]:
+        """Which budget tripped: "instructions", "cycles" or "traps"."""
+        return self.context.get("budget")
+
+
+class Watchdog:
+    """Cycle / instruction / trap budgets for one :meth:`CPU.run` call.
+
+    Budgets are *relative* to the counters at :meth:`arm` time, so a
+    watchdog composes with resumed runs: re-arming grants the same
+    budget again from wherever the CPU stopped.  On exhaustion the
+    watchdog raises :class:`SimulationLimit`; with ``snapshot=True``
+    (the default) the exception carries a checkpoint of the debuggee —
+    including the monitor state when *mrs*/*output* are supplied — so
+    the caller can degrade gracefully instead of losing the run.
+    """
+
+    def __init__(self, max_instructions: Optional[int] = None,
+                 max_cycles: Optional[int] = None,
+                 max_traps: Optional[int] = None,
+                 snapshot: bool = True, mrs=None, output=None):
+        self.max_instructions = max_instructions
+        self.max_cycles = max_cycles
+        self.max_traps = max_traps
+        self.snapshot = snapshot
+        self.mrs = mrs
+        self.output = output
+        self.insn_limit = _INFINITY
+        self.cycle_limit = _INFINITY
+        self.trap_limit = _INFINITY
+
+    def arm(self, cpu: "CPU") -> None:
+        """Fix absolute limits from the CPU's current counters."""
+        self.insn_limit = (cpu.instructions + self.max_instructions
+                           if self.max_instructions is not None
+                           else _INFINITY)
+        self.cycle_limit = (cpu.cycles + self.max_cycles
+                            if self.max_cycles is not None else _INFINITY)
+        self.trap_limit = (cpu.traps_taken + self.max_traps
+                           if self.max_traps is not None else _INFINITY)
+
+    def exhausted(self, cpu: "CPU") -> None:
+        """Build and raise the :class:`SimulationLimit` for *cpu*."""
+        if cpu.instructions >= self.insn_limit:
+            kind, budget = "instructions", self.max_instructions
+        elif cpu.cycles >= self.cycle_limit:
+            kind, budget = "cycles", self.max_cycles
+        else:
+            kind, budget = "traps", self.max_traps
+        checkpoint = None
+        if self.snapshot:
+            from repro.machine.checkpoint import Checkpoint
+            checkpoint = Checkpoint(cpu, output=self.output, mrs=self.mrs)
+        raise SimulationLimit(
+            "watchdog: exceeded %s %s budget" % (budget, kind),
+            checkpoint=checkpoint, budget=kind, pc=cpu.pc,
+            cycles=cpu.cycles, instructions=cpu.instructions,
+            traps=cpu.traps_taken)
 
 
 class CodeSpace:
@@ -98,6 +175,7 @@ class CPU:
         self.instructions = 0
         self.loads = 0
         self.stores = 0
+        self.traps_taken = 0
         #: cycles and instruction counts attributed per instruction tag.
         self.tag_cycles: Dict[str, int] = {}
         self.tag_counts: Dict[str, int] = {}
@@ -181,7 +259,8 @@ class CPU:
         handler = self.trap_handlers.get(code)
         if handler is None:
             raise SimulationError("unhandled trap 0x%x at pc 0x%x"
-                                  % (code, self.pc))
+                                  % (code, self.pc), trap=code, pc=self.pc)
+        self.traps_taken += 1
         self.cycles += self.costs.trap_base
         handler(self)
 
@@ -218,19 +297,31 @@ class CPU:
             self.npc += 4
 
     def run(self, start: Optional[int] = None,
-            max_instructions: int = 400_000_000) -> int:
-        """Run until the program exits; return the exit code."""
+            max_instructions: int = 400_000_000,
+            watchdog: Optional[Watchdog] = None) -> int:
+        """Run until the program exits; return the exit code.
+
+        *watchdog* supersedes *max_instructions* when given; on budget
+        exhaustion it raises a resumable :class:`SimulationLimit` and
+        this CPU remains runnable from where it stopped.
+        """
         if start is not None:
             self.pc = start
             self.npc = start + 4
         self.running = True
-        budget = max_instructions
+        if watchdog is None:
+            watchdog = Watchdog(max_instructions=max_instructions,
+                                snapshot=False)
+        watchdog.arm(self)
+        insn_limit = watchdog.insn_limit
+        cycle_limit = watchdog.cycle_limit
+        trap_limit = watchdog.trap_limit
         while self.running:
             self.step()
-            budget -= 1
-            if budget <= 0:
-                raise SimulationLimit(
-                    "exceeded %d instructions" % max_instructions)
+            if self.instructions >= insn_limit or \
+                    self.cycles >= cycle_limit or \
+                    self.traps_taken >= trap_limit:
+                watchdog.exhausted(self)
         return self.exit_code if self.exit_code is not None else 0
 
     def stop(self, exit_code: int = 0) -> None:

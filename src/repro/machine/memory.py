@@ -14,6 +14,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Optional, Set
 
+from repro.errors import ReproError
+from repro.faults import MEMORY_WRITE
+
 WORD_MASK = 0xFFFFFFFF
 
 #: Page size used for protection granularity (SunOS used 4 KB pages).
@@ -21,14 +24,15 @@ PAGE_SIZE = 4096
 PAGE_SHIFT = 12
 
 
-class MemoryFault(Exception):
+class MemoryFault(ReproError):
     """Raised on misaligned access."""
 
 
 class Memory:
     """Sparse 32-bit byte-addressable memory (word-granular storage)."""
 
-    __slots__ = ("words", "protected_pages", "fault_handler", "brk")
+    __slots__ = ("words", "protected_pages", "fault_handler", "brk",
+                 "faults")
 
     def __init__(self, heap_base: int = 0x20008000):
         self.words: Dict[int, int] = {}
@@ -38,17 +42,24 @@ class Memory:
         self.fault_handler: Optional[Callable[[int, int], None]] = None
         #: program break for the ``sbrk`` trap.
         self.brk = heap_base
+        #: optional :class:`repro.faults.FaultPlan`; when armed, every
+        #: word/byte write is a ``memory.write`` injection point.
+        self.faults = None
 
     # -- word access --------------------------------------------------
 
     def read_word(self, addr: int) -> int:
         if addr & 3:
-            raise MemoryFault("misaligned word read at 0x%x" % addr)
+            raise MemoryFault("misaligned word read at 0x%x" % addr,
+                              addr=addr)
         return self.words.get(addr >> 2, 0)
 
     def write_word(self, addr: int, value: int) -> None:
         if addr & 3:
-            raise MemoryFault("misaligned word write at 0x%x" % addr)
+            raise MemoryFault("misaligned word write at 0x%x" % addr,
+                              addr=addr)
+        if self.faults is not None:
+            self.faults.trip(MEMORY_WRITE, addr=addr, width=4)
         self.words[addr >> 2] = value & WORD_MASK
 
     # -- byte access ---------------------------------------------------
@@ -59,6 +70,8 @@ class Memory:
         return (word >> shift) & 0xFF
 
     def write_byte(self, addr: int, value: int) -> None:
+        if self.faults is not None:
+            self.faults.trip(MEMORY_WRITE, addr=addr, width=1)
         index = addr >> 2
         shift = (3 - (addr & 3)) * 8
         word = self.words.get(index, 0)

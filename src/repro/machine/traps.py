@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.errors import ReproError
 from repro.isa.instructions import to_signed
 from repro.machine.cpu import CPU
 
@@ -27,7 +28,7 @@ HIT_ADDR_REG = 4  # %g4 — reserved target-address register
 HIT_SIZE_REG = 6  # %g6 — access size in bytes
 
 
-class DebuggeeFault(Exception):
+class DebuggeeFault(ReproError):
     """Raised when MRS verification code detects control-flow corruption."""
 
 

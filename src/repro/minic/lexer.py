@@ -7,11 +7,13 @@ how the paper's programs were compiled for debugging.
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 import re
 from typing import List, NamedTuple
 
 
-class CompileError(Exception):
+class CompileError(ReproError):
     """Raised for any mini-C front-end or code-generation error."""
 
     def __init__(self, message: str, line: int = 0):

@@ -21,6 +21,8 @@ on (see ``ExprGen.alias_slots``), and can be enabled by clients.
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 from typing import Dict, List, Optional, Tuple
 
 from repro.ir.build import Block
@@ -321,7 +323,7 @@ def _decompose(value, loop: Loop, monotonic, affine: Affine,
 # Expression trees and pre-header code generation
 # ---------------------------------------------------------------------------
 
-class ExprGenError(Exception):
+class ExprGenError(ReproError):
     """The expression cannot be recomputed in the pre-header."""
 
 

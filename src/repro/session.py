@@ -15,6 +15,7 @@ from repro.asm.assembler import Program, assemble
 from repro.asm.loader import LoadedProgram, load_program
 from repro.core.layout import MonitorLayout
 from repro.core.service import MonitoredRegionService
+from repro.faults import FaultPlan
 from repro.instrument.plan import OptimizationPlan
 from repro.instrument.rewriter import InstrumentResult, instrument_source
 from repro.machine.cache import DEFAULT_CACHE_BYTES
@@ -41,13 +42,20 @@ class DebugSession:
                  cache_bytes: int = DEFAULT_CACHE_BYTES,
                  record_writes: bool = False,
                  monitor_reads: bool = False,
+                 faults: Optional[FaultPlan] = None,
                  mrs_class=MonitoredRegionService) -> "DebugSession":
         inst = instrument_source(asm_source, strategy, layout, plan,
                                  monitor_reads)
         program = inst.assemble()
         loaded = load_program(program, cache_bytes=cache_bytes, costs=costs,
                               record_writes=record_writes)
-        mrs = mrs_class(loaded, inst)
+        if faults is not None:
+            mrs = mrs_class(loaded, inst, faults=faults)
+            # arm the memory.write injection point only after loading,
+            # so the data-image writes don't consume occurrences
+            loaded.cpu.mem.faults = faults
+        else:
+            mrs = mrs_class(loaded, inst)
         return cls(inst, loaded, mrs)
 
     @classmethod
@@ -55,8 +63,10 @@ class DebugSession:
                    ) -> "DebugSession":
         return cls.from_asm(compile_source(c_source, lang=lang), **kwargs)
 
-    def run(self, max_instructions: int = 400_000_000) -> int:
-        return self.loaded.run(max_instructions=max_instructions)
+    def run(self, max_instructions: int = 400_000_000,
+            watchdog=None, resume: bool = False) -> int:
+        return self.loaded.run(max_instructions=max_instructions,
+                               watchdog=watchdog, resume=resume)
 
     @property
     def output(self) -> List[str]:
@@ -70,12 +80,27 @@ def run_uninstrumented(asm_source: str,
                        costs: CostModel = DEFAULT_COSTS,
                        cache_bytes: int = DEFAULT_CACHE_BYTES,
                        record_writes: bool = False,
-                       max_instructions: int = 400_000_000
-                       ) -> Tuple[int, LoadedProgram]:
+                       max_instructions: int = 400_000_000,
+                       watchdog=None,
+                       on_limit: str = "raise"
+                       ) -> Tuple[Optional[int], LoadedProgram]:
     """Assemble and run *asm_source* without any checks (the baseline
-    against which Table 1 / Table 2 overheads are computed)."""
+    against which Table 1 / Table 2 overheads are computed).
+
+    With ``on_limit="partial"``, a watchdog budget exhaustion returns
+    ``(None, loaded)`` — the partially-run program — instead of raising
+    :class:`~repro.machine.cpu.SimulationLimit`.
+    """
+    from repro.machine.cpu import SimulationLimit
+
     program = assemble(asm_source)
     loaded = load_program(program, cache_bytes=cache_bytes, costs=costs,
                           record_writes=record_writes)
-    exit_code = loaded.run(max_instructions=max_instructions)
+    try:
+        exit_code = loaded.run(max_instructions=max_instructions,
+                               watchdog=watchdog)
+    except SimulationLimit:
+        if on_limit != "partial":
+            raise
+        exit_code = None
     return exit_code, loaded

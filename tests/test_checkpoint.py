@@ -91,6 +91,75 @@ class TestCpuCheckpoint:
         assert not session.mrs.active_sites()
 
 
+class TestMonitorRoundTrip:
+    """Checkpoint/restore with active monitored regions and pending
+    dynamic patches reproduces the monitor-hit trace exactly."""
+
+    def _optimized_session(self):
+        from repro.optimizer.pipeline import build_plan
+        asm = compile_source(PROGRAM)
+        _stmts, plan = build_plan(asm, mode="full")
+        session = DebugSession.from_asm(
+            asm, strategy="BitmapInlineRegisters", plan=plan)
+        session.mrs.enable()
+        return session
+
+    def test_hit_trace_identical_after_restore(self):
+        session = self._optimized_session()
+        sym = session.symbol("steps")
+        session.mrs.pre_monitor("steps")
+        session.mrs.create_region(sym.address, 4)
+        snapshot = Checkpoint(session.cpu, output=session.output,
+                              mrs=session.mrs)
+        assert session.run() == 0
+        first_hits = list(session.mrs.hits)
+        first_output = list(session.output)
+        assert len(first_hits) == 5
+
+        snapshot.restore(session.cpu, output=session.output,
+                         mrs=session.mrs)
+        assert session.mrs.hits == []
+        assert session.cpu.run(start=session.loaded.entry) == 0
+        assert session.mrs.hits == first_hits
+        assert session.output == first_output
+
+    def test_pending_patches_survive_restore(self):
+        """A patch activated before the snapshot must still be active —
+        code *and* per-site flags — after a restore that crosses a
+        deactivation."""
+        session = self._optimized_session()
+        session.mrs.pre_monitor("steps")
+        active = list(session.mrs.active_sites())
+        assert active
+        patched = {site: session.cpu.code.at(
+            session.mrs.inst.patchable[site].addr) for site in active}
+        snapshot = Checkpoint(session.cpu, mrs=session.mrs)
+        session.mrs.post_monitor("steps")
+        assert not session.mrs.active_sites()
+        snapshot.restore(session.cpu, mrs=session.mrs)
+        assert session.mrs.active_sites() == active
+        for site in active:
+            info = session.mrs.inst.patchable[site]
+            assert info.active
+            assert session.cpu.code.at(info.addr) is patched[site]
+        # and the patches still work: deactivation restores the original
+        session.mrs.post_monitor("steps")
+        assert not session.mrs.active_sites()
+
+    def test_regions_created_after_restore_still_monitor(self):
+        session = self._optimized_session()
+        snapshot = Checkpoint(session.cpu, output=session.output,
+                              mrs=session.mrs)
+        assert session.run() == 0
+        snapshot.restore(session.cpu, output=session.output,
+                         mrs=session.mrs)
+        sym = session.symbol("steps")
+        session.mrs.pre_monitor("steps")
+        session.mrs.create_region(sym.address, 4)
+        assert session.cpu.run(start=session.loaded.entry) == 0
+        assert session.mrs.hit_count() == 5
+
+
 class TestDebuggerReplay:
     def test_watchpoints_can_change_between_replays(self):
         debugger = Debugger.for_source(PROGRAM, optimize=None)

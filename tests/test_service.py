@@ -178,6 +178,58 @@ class TestPreMonitor:
         assert session.cpu.code.at(info.addr) is original
 
 
+class TestIdempotency:
+    """Delete/disable misuse gets clear errors or no-ops, never
+    corrupted bookkeeping."""
+
+    def test_delete_unknown_region_raises_region_error(self):
+        from repro.core.regions import MonitoredRegion
+        session = make_session()
+        ghost = MonitoredRegion(0x60000000, 16)
+        with pytest.raises(RegionError) as excinfo:
+            session.mrs.delete_region(ghost)
+        assert "not currently monitored" in str(excinfo.value)
+        assert excinfo.value.context["region"] == (0x60000000, 16)
+
+    def test_double_delete_raises_not_corrupts(self):
+        session = make_session()
+        sym = session.symbol("g")
+        region = session.mrs.create_region(sym.address, 4)
+        session.mrs.delete_region(region)
+        with pytest.raises(RegionError):
+            session.mrs.delete_region(region)
+        # the bitmap survived the misuse: recreate and monitor normally
+        session.mrs.enable()
+        session.mrs.create_region(sym.address, 4)
+        session.run()
+        assert session.mrs.hit_count() == 2
+
+    def test_double_post_monitor_is_a_noop(self):
+        asm = compile_source(SOURCE)
+        _stmts, plan = build_plan(asm, mode="full")
+        session = DebugSession.from_asm(
+            asm, strategy="BitmapInlineRegisters", plan=plan)
+        session.mrs.pre_monitor("g")
+        assert session.mrs.post_monitor("g") >= 1
+        before = dict(session.mrs.patches.reasons)
+        assert session.mrs.post_monitor("g") >= 1
+        assert session.mrs.patches.reasons == before
+        assert not session.mrs.active_sites()
+
+    def test_double_disable_and_enable_idempotent(self):
+        session = make_session()
+        session.mrs.disable()
+        session.mrs.disable()
+        assert not session.mrs.enabled
+        session.mrs.enable()
+        session.mrs.enable()
+        assert session.mrs.enabled
+        sym = session.symbol("g")
+        session.mrs.create_region(sym.address, 4)
+        session.run()
+        assert session.mrs.hit_count() == 2
+
+
 class TestSpaceAccounting:
     def test_space_overhead_reported(self):
         session = make_session()
