@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Debug-server throughput/latency benchmark.
+
+Boots a :class:`repro.server.DebugServer` in-process, opens N
+concurrent client connections (one session each), and hammers
+``setDataBreakpoints`` — the request that exercises the full §4.2
+PreMonitor + CreateMonitoredRegion transaction per call — measuring
+requests/sec and per-request latency percentiles.  A short
+``continue`` phase is measured too, since that is the quota-bounded
+execution path.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_server.py            # full run
+    PYTHONPATH=src python scripts/bench_server.py --smoke    # CI-sized
+    PYTHONPATH=src python scripts/bench_server.py -o BENCH_server.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+
+from repro.server import DebugClient, DebugServer, ServerConfig
+
+SOURCE = """
+int total;
+int main() {
+    register int i;
+    total = 0;
+    for (i = 0; i < 50; i = i + 1) {
+        total = total + i;
+    }
+    print(total);
+    return 0;
+}
+"""
+
+
+def percentile(samples, fraction):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def drive(server, requests, latencies, errors, barrier):
+    try:
+        with DebugClient(port=server.port, timeout=60) as client:
+            client.initialize()
+            session_id = client.launch(SOURCE)
+            info = client.data_breakpoint_info(session_id, "total")
+            spec = [{"dataId": info["dataId"], "stop": False}]
+            barrier.wait()
+            for _ in range(requests):
+                begin = time.perf_counter()
+                client.set_data_breakpoints(session_id, spec)
+                latencies.append(time.perf_counter() - begin)
+            client.disconnect(session_id)
+    except Exception as exc:  # pragma: no cover
+        errors.append(repr(exc))
+
+
+def bench_set_data_breakpoints(sessions, requests):
+    config = ServerConfig(max_sessions=sessions + 2, workers=sessions)
+    with DebugServer(config=config).start() as server:
+        latencies: list = []
+        errors: list = []
+        barrier = threading.Barrier(sessions + 1, timeout=120)
+        threads = [threading.Thread(target=drive,
+                                    args=(server, requests, latencies,
+                                          errors, barrier))
+                   for _ in range(sessions)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        begin = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - begin
+        if errors:
+            raise SystemExit("bench workers failed: %s" % errors[:3])
+        total = sessions * requests
+        return {
+            "sessions": sessions,
+            "requests_per_session": requests,
+            "total_requests": total,
+            "elapsed_s": round(elapsed, 4),
+            "requests_per_sec": round(total / elapsed, 1),
+            "latency_ms": {
+                "p50": round(percentile(latencies, 0.50) * 1e3, 3),
+                "p90": round(percentile(latencies, 0.90) * 1e3, 3),
+                "p99": round(percentile(latencies, 0.99) * 1e3, 3),
+                "max": round(max(latencies) * 1e3, 3),
+            },
+        }
+
+
+def bench_continue(sessions, quota):
+    """Each session runs its program to completion under *quota*-sized
+    continue requests; reports continues/sec."""
+    config = ServerConfig(max_sessions=sessions + 2, workers=sessions,
+                          quota_instructions=quota)
+    with DebugServer(config=config).start() as server:
+        counts: list = []
+        errors: list = []
+        lock = threading.Lock()
+
+        def runner():
+            try:
+                with DebugClient(port=server.port, timeout=60) as client:
+                    client.initialize()
+                    session_id = client.launch(SOURCE)
+                    continues = 0
+                    stop = {"exited": False}
+                    while not stop.get("exited"):
+                        stop = client.cont(session_id)
+                        continues += 1
+                    with lock:
+                        counts.append(continues)
+            except Exception as exc:  # pragma: no cover
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=runner)
+                   for _ in range(sessions)]
+        begin = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - begin
+        if errors:
+            raise SystemExit("bench workers failed: %s" % errors[:3])
+        total = sum(counts)
+        return {"sessions": sessions, "quota_instructions": quota,
+                "total_continues": total,
+                "elapsed_s": round(elapsed, 4),
+                "continues_per_sec": round(total / elapsed, 1)}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=50,
+                        help="setDataBreakpoints calls per session")
+    parser.add_argument("--quota", type=int, default=500,
+                        help="instructions per continue request")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (2 sessions, 5 requests)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args()
+    sessions = 2 if args.smoke else args.sessions
+    requests = 5 if args.smoke else args.requests
+
+    report = {
+        "benchmark": "repro.server",
+        "setDataBreakpoints": bench_set_data_breakpoints(sessions,
+                                                         requests),
+        "continue": bench_continue(sessions, args.quota),
+    }
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

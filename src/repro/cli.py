@@ -8,7 +8,11 @@ Commands:
   assembly;
 * ``table1`` / ``table2`` / ``figure3`` / ``nop`` / ``baselines`` /
   ``space`` / ``breakeven`` / ``ablations`` — regenerate one of the
-  paper's tables or figures (accept ``--scale``).
+  paper's tables or figures (accept ``--scale``);
+* ``serve`` — host the multi-session debug server (DAP-lite wire
+  protocol over TCP);
+* ``connect FILE.c`` — run a mini-C program on a remote debug server
+  with data breakpoints, streaming monitor hits.
 """
 
 from __future__ import annotations
@@ -59,6 +63,41 @@ def _add_asm_parser(subparsers) -> None:
                         help="also insert write checks with STRATEGY")
 
 
+def _add_serve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="host the multi-session debug server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=4711)
+    parser.add_argument("--max-sessions", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=8,
+                        help="bounded pool of concurrent executions")
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="evict sessions idle this long")
+    parser.add_argument("--quota", type=int, default=None,
+                        metavar="INSTRUCTIONS",
+                        help="per-request execution quota")
+
+
+def _add_connect_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "connect", help="run a mini-C program on a remote debug server")
+    parser.add_argument("file", help="mini-C source file")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=4711)
+    parser.add_argument("--lang", default="C", choices=["C", "F"])
+    parser.add_argument("--strategy", default="BitmapInlineRegisters")
+    parser.add_argument("--optimize", default="full",
+                        choices=["full", "sym", "none"])
+    parser.add_argument("--watch", action="append", default=[],
+                        metavar="EXPR",
+                        help="data breakpoint (repeatable): g, a[3], s.f")
+    parser.add_argument("--condition", action="append", default=[],
+                        metavar="COND",
+                        help="condition for the matching --watch "
+                             "(e.g. '== 42')")
+
+
 _EVAL_COMMANDS = {
     "table1": ("repro.eval.table1", 1.0),
     "table2": ("repro.eval.table2", 1.0),
@@ -79,6 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(subparsers)
     _add_debug_parser(subparsers)
     _add_asm_parser(subparsers)
+    _add_serve_parser(subparsers)
+    _add_connect_parser(subparsers)
     for name, (_module, default_scale) in _EVAL_COMMANDS.items():
         sub = subparsers.add_parser(
             name, help="regenerate the paper's %s" % name)
@@ -150,6 +191,79 @@ def _command_asm(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    from repro.server import DebugServer, ServerConfig
+    from repro.server.handlers import DEFAULT_QUOTA
+
+    config = ServerConfig(max_sessions=args.max_sessions,
+                          idle_timeout=args.idle_timeout,
+                          workers=args.workers,
+                          quota_instructions=args.quota
+                          if args.quota is not None else DEFAULT_QUOTA)
+    server = DebugServer(host=args.host, port=args.port, config=config)
+    print("repro debug server listening on %s:%d "
+          "(max %d sessions, %d workers, quota %d insns/request)"
+          % (server.address[0], server.address[1], config.max_sessions,
+             config.workers, config.quota_instructions))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...")
+    finally:
+        server.close()
+    return 0
+
+
+def _command_connect(args) -> int:
+    from repro.server.client import DebugClient, RemoteError
+
+    with open(args.file) as handle:
+        source = handle.read()
+    conditions = dict(zip(args.watch, args.condition))
+    try:
+        with DebugClient(host=args.host, port=args.port) as client:
+            negotiated = client.initialize()
+            print("-- connected, protocol v%d"
+                  % negotiated["protocolVersion"])
+            session_id = client.launch(source, lang=args.lang,
+                                       strategy=args.strategy,
+                                       optimize=args.optimize)
+            specs = []
+            for expr in args.watch:
+                info = client.data_breakpoint_info(session_id, expr)
+                if info.get("dataId") is None:
+                    print("-- cannot watch %s: %s"
+                          % (expr, info.get("description")))
+                    continue
+                spec = {"dataId": info["dataId"], "stop": False}
+                if expr in conditions:
+                    spec["condition"] = conditions[expr]
+                specs.append(spec)
+            if specs:
+                for result in client.set_data_breakpoints(session_id,
+                                                          specs):
+                    print("-- breakpoint %s verified=%s"
+                          % (result.get("dataId"), result["verified"]))
+            stop = client.cont(session_id)
+            while not stop.get("exited") and stop["reason"] == "quota":
+                stop = client.cont(session_id)
+            for body in client.pop_events("output"):
+                sys.stdout.write(body["output"])
+                if not body["output"].endswith("\n"):
+                    sys.stdout.write("\n")
+            print("-- %s" % stop["reason"])
+            for hit in client.pop_events("monitorHit"):
+                print("     wrote 0x%08x (%d bytes): %s  [%s]"
+                      % (hit["address"], hit["size"],
+                         hit.get("value", "?"),
+                         hit.get("symbol", "?")))
+            client.disconnect(session_id)
+    except (RemoteError, OSError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -168,6 +282,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "asm":
         return _command_asm(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "connect":
+        return _command_connect(args)
     if args.command == "breakeven":
         from repro.eval.breakeven import main as breakeven_main
         breakeven_main()

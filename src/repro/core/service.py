@@ -27,6 +27,7 @@ before any mutation (overlap, alignment, unknown region) still raise
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.asm.loader import LoadedProgram
@@ -84,6 +85,12 @@ class MonitoredRegionService:
         #: per-loop count of pre-header check hits
         self.preheader_hits: Dict[int, int] = {}
         self.enabled = False
+        #: serialises the public entry points: the region set, bitmap,
+        #: superpage counts and patch table are shared mutable state, so
+        #: concurrent server sessions driving one service must not
+        #: interleave mutations (reentrant: entry points nest, e.g.
+        #: ``create_region`` -> ``activate_loop_checks``)
+        self._lock = threading.RLock()
         self._install()
 
     # -- compatibility: the patch refcounts used to live on the service ------
@@ -128,13 +135,14 @@ class MonitoredRegionService:
         """A loop pre-header check succeeded: the loop may write a
         monitored region, so re-insert the eliminated in-loop checks."""
         loop_id = cpu.regs.read(_G6)
-        self.preheader_hits[loop_id] = \
-            self.preheader_hits.get(loop_id, 0) + 1
-        for site in self.inst.plan.loop_sites.get(loop_id, ()):
-            # idempotent: the pre-header fires once per loop entry but
-            # the site needs only one "loop" activation
-            if not self.patches.has_reason(site, "loop"):
-                self._activate(site, "loop")
+        with self._lock:
+            self.preheader_hits[loop_id] = \
+                self.preheader_hits.get(loop_id, 0) + 1
+            for site in self.inst.plan.loop_sites.get(loop_id, ()):
+                # idempotent: the pre-header fires once per loop entry but
+                # the site needs only one "loop" activation
+                if not self.patches.has_reason(site, "loop"):
+                    self._activate(site, "loop")
 
     def _on_jmp_check(self, cpu) -> None:
         """Indirect-jump verification (§4.2): the target must be a known
@@ -153,16 +161,19 @@ class MonitoredRegionService:
     # -- the §2 interface ---------------------------------------------------------
 
     def add_callback(self, callback: NotificationCallBack) -> None:
-        self.callbacks.append(callback)
+        with self._lock:
+            self.callbacks.append(callback)
 
     def enable(self) -> None:
-        self.cpu.regs.write(_G2, 0)
-        self.enabled = True
+        with self._lock:
+            self.cpu.regs.write(_G2, 0)
+            self.enabled = True
 
     def disable(self) -> None:
         """Set the global disabled flag (§2.1).  Idempotent."""
-        self.cpu.regs.write(_G2, 1)
-        self.enabled = False
+        with self._lock:
+            self.cpu.regs.write(_G2, 1)
+            self.enabled = False
 
     def _rollback(self, journal: UndoJournal) -> None:
         """Undo a failed operation with fault injection suspended, so a
@@ -188,41 +199,43 @@ class MonitoredRegionService:
         original failure chained.
         """
         region = MonitoredRegion(start, size)   # validates, mutates nothing
-        if self.faults is not None:
-            self.faults.trip(SERVICE_CREATE, region=region.key(),
-                             pc=self.cpu.pc)
-        journal = UndoJournal()
-        try:
-            self.regions.add(region, journal)
-            touched = self.bitmap.set_region(region, journal)
-            self.superpages.add_region(region, journal)
-            self._invalidate_caches(touched, journal)
-            if mid_run:
-                self.activate_loop_checks(journal)
-        except RegionError:
-            self._rollback(journal)
-            raise
-        except Exception as exc:
-            self._rollback(journal)
-            raise RegionCreateError(
-                "CreateMonitoredRegion(0x%x, %d) failed; state rolled "
-                "back" % (start, size), region=(start, size),
-                pc=self.cpu.pc) from exc
-        journal.commit()
-        return region
+        with self._lock:
+            if self.faults is not None:
+                self.faults.trip(SERVICE_CREATE, region=region.key(),
+                                 pc=self.cpu.pc)
+            journal = UndoJournal()
+            try:
+                self.regions.add(region, journal)
+                touched = self.bitmap.set_region(region, journal)
+                self.superpages.add_region(region, journal)
+                self._invalidate_caches(touched, journal)
+                if mid_run:
+                    self.activate_loop_checks(journal)
+            except RegionError:
+                self._rollback(journal)
+                raise
+            except Exception as exc:
+                self._rollback(journal)
+                raise RegionCreateError(
+                    "CreateMonitoredRegion(0x%x, %d) failed; state rolled "
+                    "back" % (start, size), region=(start, size),
+                    pc=self.cpu.pc) from exc
+            journal.commit()
+            return region
 
     def activate_loop_checks(self,
                              journal: Optional[UndoJournal] = None) -> int:
         """Conservatively re-insert every loop-eliminated check (they
         retract when the last region is deleted).  Returns the number of
         sites activated."""
-        activated = 0
-        for loop_id, sites in self.inst.plan.loop_sites.items():
-            for site in sites:
-                if not self.patches.has_reason(site, "loop"):
-                    self._activate(site, "loop", journal)
-                    activated += 1
-        return activated
+        with self._lock:
+            activated = 0
+            for loop_id, sites in self.inst.plan.loop_sites.items():
+                for site in sites:
+                    if not self.patches.has_reason(site, "loop"):
+                        self._activate(site, "loop", journal)
+                        activated += 1
+            return activated
 
     def delete_region(self, region: MonitoredRegion) -> None:
         """§2 ``DeleteMonitoredRegion`` — transactional.
@@ -231,30 +244,31 @@ class MonitoredRegionService:
         clear :class:`RegionError` before anything is touched, so a
         confused caller cannot corrupt the bitmap counts.
         """
-        if region not in self.regions:
-            raise RegionError(
-                "cannot delete %r: not currently monitored (unknown or "
-                "already deleted)" % (region,),
-                region=getattr(region, "key", lambda: region)())
-        if self.faults is not None:
-            self.faults.trip(SERVICE_DELETE, region=region.key(),
-                             pc=self.cpu.pc)
-        journal = UndoJournal()
-        try:
-            self.regions.remove(region, journal)
-            self.bitmap.clear_region(region, journal)
-            self.superpages.remove_region(region, journal)
-            if len(self.regions) == 0:
-                # no regions left: retract all loop-activated checks
-                for site in list(self.patches.reasons):
-                    self._deactivate(site, "loop", journal)
-        except Exception as exc:
-            self._rollback(journal)
-            raise RegionDeleteError(
-                "DeleteMonitoredRegion(%r) failed; state rolled back"
-                % (region,), region=region.key(),
-                pc=self.cpu.pc) from exc
-        journal.commit()
+        with self._lock:
+            if region not in self.regions:
+                raise RegionError(
+                    "cannot delete %r: not currently monitored (unknown or "
+                    "already deleted)" % (region,),
+                    region=getattr(region, "key", lambda: region)())
+            if self.faults is not None:
+                self.faults.trip(SERVICE_DELETE, region=region.key(),
+                                 pc=self.cpu.pc)
+            journal = UndoJournal()
+            try:
+                self.regions.remove(region, journal)
+                self.bitmap.clear_region(region, journal)
+                self.superpages.remove_region(region, journal)
+                if len(self.regions) == 0:
+                    # no regions left: retract all loop-activated checks
+                    for site in list(self.patches.reasons):
+                        self._deactivate(site, "loop", journal)
+            except Exception as exc:
+                self._rollback(journal)
+                raise RegionDeleteError(
+                    "DeleteMonitoredRegion(%r) failed; state rolled back"
+                    % (region,), region=region.key(),
+                    pc=self.cpu.pc) from exc
+            journal.commit()
 
     # -- §4.2 PreMonitor / PostMonitor -----------------------------------------
 
@@ -266,41 +280,43 @@ class MonitoredRegionService:
         with :meth:`create_region` on the symbol's storage, since the
         symbol can also be written through aliases (§4.2).
         """
-        sites = self._symbol_site_list(symbol, func)
-        if self.faults is not None:
-            self.faults.trip(SERVICE_PRE_MONITOR, symbol=symbol,
-                             sites=len(sites), pc=self.cpu.pc)
-        journal = UndoJournal()
-        try:
-            for site in sites:
-                self._activate(site, "symbol", journal)
-        except Exception as exc:
-            self._rollback(journal)
-            raise MonitorPatchError(
-                "PreMonitor(%r) failed; patches rolled back" % symbol,
-                symbol=symbol, pc=self.cpu.pc) from exc
-        journal.commit()
-        return len(sites)
+        with self._lock:
+            sites = self._symbol_site_list(symbol, func)
+            if self.faults is not None:
+                self.faults.trip(SERVICE_PRE_MONITOR, symbol=symbol,
+                                 sites=len(sites), pc=self.cpu.pc)
+            journal = UndoJournal()
+            try:
+                for site in sites:
+                    self._activate(site, "symbol", journal)
+            except Exception as exc:
+                self._rollback(journal)
+                raise MonitorPatchError(
+                    "PreMonitor(%r) failed; patches rolled back" % symbol,
+                    symbol=symbol, pc=self.cpu.pc) from exc
+            journal.commit()
+            return len(sites)
 
     def post_monitor(self, symbol: str, func: Optional[str] = None) -> int:
         """Remove :meth:`pre_monitor` patches for *symbol* —
         transactional, and a no-op for sites not currently activated
         (double ``PostMonitor`` is harmless)."""
-        sites = self._symbol_site_list(symbol, func)
-        if self.faults is not None:
-            self.faults.trip(SERVICE_POST_MONITOR, symbol=symbol,
-                             sites=len(sites), pc=self.cpu.pc)
-        journal = UndoJournal()
-        try:
-            for site in sites:
-                self._deactivate(site, "symbol", journal)
-        except Exception as exc:
-            self._rollback(journal)
-            raise MonitorPatchError(
-                "PostMonitor(%r) failed; patches rolled back" % symbol,
-                symbol=symbol, pc=self.cpu.pc) from exc
-        journal.commit()
-        return len(sites)
+        with self._lock:
+            sites = self._symbol_site_list(symbol, func)
+            if self.faults is not None:
+                self.faults.trip(SERVICE_POST_MONITOR, symbol=symbol,
+                                 sites=len(sites), pc=self.cpu.pc)
+            journal = UndoJournal()
+            try:
+                for site in sites:
+                    self._deactivate(site, "symbol", journal)
+            except Exception as exc:
+                self._rollback(journal)
+                raise MonitorPatchError(
+                    "PostMonitor(%r) failed; patches rolled back" % symbol,
+                    symbol=symbol, pc=self.cpu.pc) from exc
+            journal.commit()
+            return len(sites)
 
     def _symbol_site_list(self, symbol: str,
                           func: Optional[str]) -> List[int]:

@@ -271,6 +271,20 @@ class Debugger:
 
     # -- inspection ---------------------------------------------------------------
 
+    def evaluate(self, expression: str, func: Optional[str] = None):
+        """Read the current value of a watchable expression.
+
+        Returns ``(entry, address, value)``; *value* is an int for
+        word-sized storage and a list of up to 16 leading words for
+        larger storage (arrays, structs).
+        """
+        entry, addr, size = self.resolve(expression, func)
+        if size == 4:
+            return entry, addr, to_signed(self.cpu.mem.read_word(addr))
+        words = [to_signed(self.cpu.mem.read_word(addr + offset))
+                 for offset in range(0, min(size, 64), 4)]
+        return entry, addr, words
+
     def disassemble(self, func_name: str) -> str:
         """Disassemble *func_name* as currently patched, marking the pc.
 
@@ -333,6 +347,28 @@ class Debugger:
         self.cpu.run(start=None, max_instructions=max_instructions)
         if self.stop_reason is None:
             self.stop_reason = "exited"
+        return self.stop_reason
+
+    def step(self, count: int = 1) -> str:
+        """Execute up to *count* instructions; returns the stop reason
+        ("exited", "watch", "breakpoint:<func>", or "step" when the
+        count ran out with the program still live)."""
+        self.stop_reason = None
+        self.stopped_watch = None
+        cpu = self.cpu
+        if not self._started:
+            self._started = True
+            cpu.pc = self.session.loaded.entry
+            cpu.npc = cpu.pc + 4
+        cpu.running = True
+        for _ in range(count):
+            cpu.step()
+            if not cpu.running:
+                break
+        if not cpu.running and cpu.exit_code is not None:
+            self.stop_reason = "exited"
+        elif self.stop_reason is None:
+            self.stop_reason = "step"
         return self.stop_reason
 
     @property

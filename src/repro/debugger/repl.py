@@ -23,7 +23,6 @@ import shlex
 from typing import Callable, Dict, List, Optional
 
 from repro.debugger.debugger import Debugger, DebuggerError
-from repro.isa.instructions import to_signed
 
 
 class DebuggerRepl:
@@ -149,20 +148,12 @@ class DebuggerRepl:
             self._write("program has exited (use restore to replay)")
             return
         count = int(args[0]) if args else 1
-        cpu = self.debugger.cpu
-        if not self.debugger._started:
-            self.debugger._started = True
-            cpu.pc = self.debugger.session.loaded.entry
-            cpu.npc = cpu.pc + 4
-        cpu.running = True
-        for _ in range(count):
-            cpu.step()
-            if not cpu.running:
-                break
-        if not cpu.running and cpu.exit_code is not None:
+        reason = self.debugger.step(count)
+        if reason == "exited":
             self._finished = True
             self._write("program exited")
             return
+        cpu = self.debugger.cpu
         insn = cpu.code.at(cpu.pc)
         self._write("pc=0x%08x: %s" % (cpu.pc, insn))
 
@@ -171,16 +162,13 @@ class DebuggerRepl:
             self._write("usage: print EXPR [func]")
             return
         func = args[1] if len(args) > 1 else None
-        _entry, addr, size = self.debugger.resolve(args[0], func)
-        if size == 4:
-            value = to_signed(self.debugger.cpu.mem.read_word(addr))
-            self._write("%s = %d" % (args[0], value))
-        else:
-            words = [to_signed(self.debugger.cpu.mem.read_word(addr + o))
-                     for o in range(0, min(size, 64), 4)]
-            suffix = " ..." if size > 64 else ""
+        entry, _addr, value = self.debugger.evaluate(args[0], func)
+        if isinstance(value, list):
+            suffix = " ..." if entry.size > 64 else ""
             self._write("%s = {%s}%s"
-                        % (args[0], ", ".join(map(str, words)), suffix))
+                        % (args[0], ", ".join(map(str, value)), suffix))
+        else:
+            self._write("%s = %d" % (args[0], value))
 
     def _cmd_info(self, args: List[str]) -> None:
         debugger = self.debugger

@@ -97,6 +97,27 @@ class MrsTransactionError(MrsError):
         return self.context.get("pc")
 
 
+class ProtocolError(ReproError):
+    """A malformed, oversized or out-of-protocol wire message.
+
+    Raised by :mod:`repro.server.protocol` on framing violations
+    (truncated length prefix, frame larger than the negotiated maximum),
+    undecodable JSON, and messages missing required fields.  The
+    :attr:`context` names what was wrong (``frame_size``, ``field``,
+    ``reason``) so servers can report it in a structured error payload
+    without parsing message strings.
+    """
+
+
+class ServerError(ReproError):
+    """A debug-server request failed server-side.
+
+    Covers session-level failures that are not MRS transactions:
+    unknown session ids, session-capacity exhaustion, draining servers
+    rejecting new work, and unsupported protocol versions.
+    """
+
+
 class RegionCreateError(MrsTransactionError):
     """``CreateMonitoredRegion`` failed; all state was rolled back."""
 

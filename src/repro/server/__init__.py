@@ -1,0 +1,36 @@
+"""Multi-session debug server: a DAP-style wire protocol for data
+breakpoints.
+
+The paper's §2 frames the Monitored Region Service as a facility a
+*debugger* consumes; this package puts that debugger behind a socket,
+the way modern stacks expose it through the Debug Adapter Protocol's
+``dataBreakpointInfo`` / ``setDataBreakpoints`` pair:
+
+* :mod:`repro.server.protocol` — length-prefixed JSON framing, typed
+  request/response/event messages, versioned capability negotiation,
+  structured error payloads;
+* :mod:`repro.server.manager` — many concurrent sessions with
+  capacity limits, a bounded execution pool, per-session locks, idle
+  eviction and graceful draining shutdown;
+* :mod:`repro.server.handlers` — the command surface (``launch``,
+  ``dataBreakpointInfo``, ``setDataBreakpoints``, ``continue``,
+  ``step``, ``evaluate``, ``disconnect``) and the streamed events
+  (``monitorHit``, ``stopped``, ``output``, ``sessionEvicted``);
+* :mod:`repro.server.server` — the TCP transport;
+* :mod:`repro.server.client` — the blocking client library used by
+  the tests, the bench harness and ``repro connect``.
+"""
+
+from repro.server.client import ClientClosed, DebugClient, RemoteError
+from repro.server.handlers import RequestRouter, ServerConfig
+from repro.server.manager import ManagedSession, SessionManager
+from repro.server.protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                                   SUPPORTED_VERSIONS, Event, Request,
+                                   Response, error_payload)
+from repro.server.server import DebugServer
+
+__all__ = ["DebugServer", "DebugClient", "RemoteError", "ClientClosed",
+           "ServerConfig", "RequestRouter", "SessionManager",
+           "ManagedSession", "Request", "Response", "Event",
+           "PROTOCOL_VERSION", "SUPPORTED_VERSIONS", "MAX_FRAME_BYTES",
+           "error_payload"]

@@ -1,0 +1,246 @@
+"""Blocking client for the debug server.
+
+:class:`DebugClient` owns one connection.  A background reader thread
+demultiplexes the stream: responses complete the (single outstanding)
+blocking :meth:`request`, events accumulate in an ordered queue that
+:meth:`wait_event` / :meth:`pop_events` drain.  A failed request
+raises :class:`RemoteError` carrying the server's structured error
+payload — class name, message and the original
+:class:`~repro.errors.ReproError` context dict — so remote failures
+are as inspectable as local ones.
+
+.. code-block:: python
+
+    with DebugClient(port=server.port) as client:
+        client.initialize()
+        sid = client.launch(SOURCE)
+        info = client.data_breakpoint_info(sid, "total")
+        client.set_data_breakpoints(sid, [{"dataId": info["dataId"]}])
+        stop = client.cont(sid)              # -> reason "watch"
+        hit = client.wait_event("monitorHit")
+        client.disconnect(sid)
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ProtocolError, ReproError
+from repro.server.protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                                   Event, Request, Response, encode,
+                                   read_frame, decode)
+
+__all__ = ["DebugClient", "RemoteError", "ClientClosed"]
+
+
+class RemoteError(ReproError):
+    """A request failed server-side; carries the structured payload."""
+
+    def __init__(self, command: str, payload: Dict[str, Any]):
+        message = payload.get("message", "request failed")
+        super().__init__("%s: %s" % (command, message),
+                         **(payload.get("context") or {}))
+        self.command = command
+        self.payload = payload
+        #: the server-side exception class name (e.g. "RegionCreateError")
+        self.remote_error = payload.get("error")
+
+
+class ClientClosed(ReproError):
+    """The connection died while a request was outstanding."""
+
+
+class DebugClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 30.0,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._seq = 0
+        self._send_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._responses: Dict[int, Response] = {}
+        self._events: List[Event] = []
+        self._closed = False
+        self._reader = threading.Thread(target=self._read_loop,
+                                        name="repro-client-reader",
+                                        daemon=True)
+        self._reader.start()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                payload = read_frame(self._sock, self.max_frame_bytes)
+                if payload is None:
+                    break
+                message = decode(payload)
+                with self._cond:
+                    if isinstance(message, Response):
+                        self._responses[message.request_seq] = message
+                    elif isinstance(message, Event):
+                        self._events.append(message)
+                    self._cond.notify_all()
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            with self._cond:
+                self._closed = True
+                self._cond.notify_all()
+
+    def request(self, command: str,
+                arguments: Optional[Dict[str, Any]] = None,
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Send one request and block for its response body.
+
+        Raises :class:`RemoteError` when the server reports failure and
+        :class:`ClientClosed` when the connection dies first.
+        """
+        timeout = self.timeout if timeout is None else timeout
+        with self._send_lock:
+            self._seq += 1
+            seq = self._seq
+            self._sock.sendall(encode(Request(
+                seq=seq, command=command, arguments=arguments or {})))
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: seq in self._responses or self._closed,
+                timeout=timeout)
+            if seq not in self._responses:
+                if self._closed:
+                    raise ClientClosed(
+                        "connection closed awaiting %r" % command,
+                        command=command)
+                if not ok:
+                    raise ClientClosed("timed out awaiting %r" % command,
+                                       command=command, timeout=timeout)
+            response = self._responses.pop(seq)
+        if not response.success:
+            raise RemoteError(command, response.error or {})
+        return response.body
+
+    # -- events ------------------------------------------------------------
+
+    def pop_events(self, name: Optional[str] = None
+                   ) -> List[Dict[str, Any]]:
+        """Drain (and return the bodies of) buffered events, optionally
+        filtered by name; non-matching events stay queued."""
+        with self._cond:
+            if name is None:
+                drained = [event.body for event in self._events]
+                self._events = []
+                return drained
+            matching = [event.body for event in self._events
+                        if event.event == name]
+            self._events = [event for event in self._events
+                            if event.event != name]
+            return matching
+
+    def wait_event(self, name: str, timeout: Optional[float] = None,
+                   predicate: Optional[Callable[[Dict[str, Any]], bool]]
+                   = None) -> Dict[str, Any]:
+        """Block until an event named *name* (matching *predicate*, if
+        given) arrives; returns its body and removes it from the queue."""
+        timeout = self.timeout if timeout is None else timeout
+
+        def find() -> Optional[int]:
+            for index, event in enumerate(self._events):
+                if event.event == name and (predicate is None
+                                            or predicate(event.body)):
+                    return index
+            return None
+
+        with self._cond:
+            result: List[Optional[int]] = [None]
+
+            def ready() -> bool:
+                result[0] = find()
+                return result[0] is not None or self._closed
+
+            self._cond.wait_for(ready, timeout=timeout)
+            if result[0] is None:
+                raise ClientClosed(
+                    "no %r event within %.1fs%s"
+                    % (name, timeout,
+                       " (connection closed)" if self._closed else ""),
+                    event=name, timeout=timeout)
+            return self._events.pop(result[0]).body
+
+    # -- the command surface ----------------------------------------------
+
+    def initialize(self, version: int = PROTOCOL_VERSION
+                   ) -> Dict[str, Any]:
+        return self.request("initialize", {"protocolVersion": version,
+                                           "client": "repro.client"})
+
+    def launch(self, source: str, **options: Any) -> str:
+        arguments: Dict[str, Any] = {"source": source}
+        arguments.update(options)
+        return self.request("launch", arguments)["sessionId"]
+
+    def data_breakpoint_info(self, session_id: str, name: str,
+                             func: Optional[str] = None) -> Dict[str, Any]:
+        arguments = {"sessionId": session_id, "name": name}
+        if func is not None:
+            arguments["func"] = func
+        return self.request("dataBreakpointInfo", arguments)
+
+    def set_data_breakpoints(self, session_id: str,
+                             breakpoints: List[Dict[str, Any]]
+                             ) -> List[Dict[str, Any]]:
+        return self.request("setDataBreakpoints",
+                            {"sessionId": session_id,
+                             "breakpoints": breakpoints})["breakpoints"]
+
+    def cont(self, session_id: str,
+             quota: Optional[int] = None) -> Dict[str, Any]:
+        arguments: Dict[str, Any] = {"sessionId": session_id}
+        if quota is not None:
+            arguments["quota"] = quota
+        return self.request("continue", arguments)
+
+    def step(self, session_id: str, count: int = 1) -> Dict[str, Any]:
+        return self.request("step", {"sessionId": session_id,
+                                     "count": count})
+
+    def evaluate(self, session_id: str, expression: str,
+                 func: Optional[str] = None) -> Dict[str, Any]:
+        arguments = {"sessionId": session_id, "expression": expression}
+        if func is not None:
+            arguments["func"] = func
+        return self.request("evaluate", arguments)
+
+    def sessions(self) -> List[Dict[str, Any]]:
+        return self.request("threads")["sessions"]
+
+    def disconnect(self, session_id: str) -> bool:
+        return self.request("disconnect",
+                            {"sessionId": session_id})["destroyed"]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._reader.join(timeout=2.0)
+
+    def __enter__(self) -> "DebugClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,442 @@
+"""Request handlers: the debugger surface exposed over the wire.
+
+Each handler takes ``(manager, config, arguments, emit)`` and returns
+the response body dict; :class:`RequestRouter.dispatch` wraps the call
+in the protocol envelope and maps any :class:`~repro.errors.ReproError`
+to a structured error payload (so an injected
+:class:`~repro.errors.MrsTransactionError` inside one session reaches
+that client as data instead of killing the server).
+
+Commands
+--------
+
+``initialize``
+    Version negotiation + capability advertisement.
+``launch``
+    Compile/instrument mini-C source into a fresh session; accepts a
+    fault-plan spec so failure paths can be exercised server-side.
+``dataBreakpointInfo`` / ``setDataBreakpoints``
+    The DAP data-breakpoint pair: resolve a source name to a
+    ``dataId``, then declaratively replace the active breakpoint set.
+``continue`` / ``step``
+    Run the debuggee under the per-request execution quota
+    (PR 1's watchdog budgets re-used as a server resource limit);
+    quota exhaustion is a resumable ``stopped`` reason, not an error.
+``evaluate``
+    Read a watchable expression at the current stop.
+``disconnect``
+    Tear the session down.
+
+Events streamed while a session runs: ``output`` (new debuggee
+output), ``monitorHit`` (every §2 notification, with the resolved
+symbol and pc), ``stopped`` (run finished with a reason), and
+``sessionEvicted`` (idle eviction / shutdown, emitted by the manager).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.debugger.debugger import Debugger, DebuggerError
+from repro.errors import ProtocolError, ReproError, ServerError
+from repro.faults import FaultPlan
+from repro.isa.instructions import to_signed
+from repro.machine.cpu import SimulationLimit
+from repro.server.manager import ManagedSession, SessionManager
+from repro.server.protocol import (PROTOCOL_VERSION, SUPPORTED_VERSIONS,
+                                   Request, Response, error_payload)
+
+__all__ = ["ServerConfig", "RequestRouter", "fault_plan_from_spec",
+           "parse_condition"]
+
+#: default per-request execution quota (simulated instructions)
+DEFAULT_QUOTA = 2_000_000
+
+_COND_RE = re.compile(r"^\s*(==|!=|<=|>=|<|>)\s*(-?\d+)\s*$")
+_DATA_ID_RE = re.compile(r"^w:(?P<name>[^@]+)@(?P<func>.*)$")
+
+
+class ServerConfig:
+    """Tunables threaded from the CLI down to handlers and manager."""
+
+    def __init__(self, max_sessions: int = 16,
+                 idle_timeout: Optional[float] = None,
+                 workers: int = 8,
+                 quota_instructions: int = DEFAULT_QUOTA,
+                 max_frame_bytes: Optional[int] = None):
+        from repro.server.protocol import MAX_FRAME_BYTES
+        self.max_sessions = max_sessions
+        self.idle_timeout = idle_timeout
+        self.workers = workers
+        self.quota_instructions = quota_instructions
+        self.max_frame_bytes = (MAX_FRAME_BYTES if max_frame_bytes is None
+                                else max_frame_bytes)
+
+    def capabilities(self) -> Dict[str, Any]:
+        return {
+            "supportsDataBreakpoints": True,
+            "supportsConditionalDataBreakpoints": True,
+            "supportsReadMonitoring": True,
+            "supportsFaultInjection": True,
+            "supportsStepping": True,
+            "supportsEvaluate": True,
+            "executionQuota": self.quota_instructions,
+            "maxFrameBytes": self.max_frame_bytes,
+            "maxSessions": self.max_sessions,
+        }
+
+
+def fault_plan_from_spec(spec: Dict[str, Any]) -> FaultPlan:
+    """Build a :class:`FaultPlan` from its JSON representation.
+
+    ``{"schedule": {"service.create_region": [0]}, "seed": 7,
+    "rate": 0.1, "maxFaults": 3, "maxInstructions": 100000, ...}``
+    """
+    schedule = None
+    if spec.get("schedule"):
+        schedule = {point: (True if occurrences is True
+                            else set(occurrences))
+                    for point, occurrences in spec["schedule"].items()}
+    return FaultPlan(schedule=schedule,
+                     seed=spec.get("seed"),
+                     rate=spec.get("rate", 0.0),
+                     points=spec.get("points"),
+                     max_faults=spec.get("maxFaults"),
+                     max_instructions=spec.get("maxInstructions"),
+                     max_cycles=spec.get("maxCycles"),
+                     max_traps=spec.get("maxTraps"))
+
+
+def parse_condition(text: str) -> Callable[[int], bool]:
+    """Compile a breakpoint condition like ``"== 42"`` or ``"> 10"``
+    into a predicate over the newly written value."""
+    match = _COND_RE.match(text)
+    if match is None:
+        raise ProtocolError("unsupported condition %r (use OP INT with "
+                            "OP in ==, !=, <, <=, >, >=)" % text,
+                            field="condition", reason="condition")
+    op, literal = match.group(1), int(match.group(2))
+    return {
+        "==": lambda value: value == literal,
+        "!=": lambda value: value != literal,
+        "<": lambda value: value < literal,
+        "<=": lambda value: value <= literal,
+        ">": lambda value: value > literal,
+        ">=": lambda value: value >= literal,
+    }[op]
+
+
+def _data_id(name: str, func: Optional[str]) -> str:
+    return "w:%s@%s" % (name, func or "")
+
+
+def _split_data_id(data_id: str):
+    match = _DATA_ID_RE.match(data_id)
+    if match is None:
+        raise ProtocolError("malformed dataId %r" % (data_id,),
+                            field="dataId", reason="data_id")
+    return match.group("name"), (match.group("func") or None)
+
+
+def _require_arg(arguments: Dict[str, Any], name: str) -> Any:
+    if name not in arguments:
+        raise ProtocolError("request is missing argument %r" % name,
+                            field=name, reason="missing_argument")
+    return arguments[name]
+
+
+class RequestRouter:
+    """Maps protocol commands onto a :class:`SessionManager`."""
+
+    def __init__(self, manager: SessionManager, config: ServerConfig):
+        self.manager = manager
+        self.config = config
+        self._handlers: Dict[str, Callable] = {
+            "initialize": self._initialize,
+            "launch": self._launch,
+            "dataBreakpointInfo": self._data_breakpoint_info,
+            "setDataBreakpoints": self._set_data_breakpoints,
+            "continue": self._continue,
+            "step": self._step,
+            "evaluate": self._evaluate,
+            "threads": self._threads,
+            "disconnect": self._disconnect,
+        }
+
+    def dispatch(self, request: Request, emit, seq: Callable[[], int]
+                 ) -> Response:
+        """Run one request; never raises — failures become structured
+        error responses."""
+        handler = self._handlers.get(request.command)
+        try:
+            if handler is None:
+                raise ServerError("unknown command %r" % request.command,
+                                  reason="unknown_command",
+                                  command=request.command)
+            body = handler(request.arguments, emit)
+            return Response(seq=seq(), request_seq=request.seq,
+                            command=request.command, success=True,
+                            body=body or {})
+        except (ReproError, DebuggerError) as exc:
+            return Response(seq=seq(), request_seq=request.seq,
+                            command=request.command, success=False,
+                            error=error_payload(exc))
+        except Exception as exc:  # a handler bug must not kill the server
+            payload = error_payload(exc)
+            payload["internal"] = True
+            return Response(seq=seq(), request_seq=request.seq,
+                            command=request.command, success=False,
+                            error=payload)
+
+    # -- handlers ----------------------------------------------------------
+
+    def _initialize(self, arguments: Dict[str, Any], emit) -> Dict[str, Any]:
+        version = arguments.get("protocolVersion", PROTOCOL_VERSION)
+        if version not in SUPPORTED_VERSIONS:
+            raise ServerError(
+                "unsupported protocol version %r" % (version,),
+                reason="version",
+                requested=version, supported=list(SUPPORTED_VERSIONS))
+        return {"protocolVersion": version,
+                "server": "repro-debug-server",
+                "capabilities": self.config.capabilities()}
+
+    def _launch(self, arguments: Dict[str, Any], emit) -> Dict[str, Any]:
+        source = _require_arg(arguments, "source")
+        lang = arguments.get("lang", "C")
+        strategy = arguments.get("strategy", "BitmapInlineRegisters")
+        optimize = arguments.get("optimize", "full")
+        monitor_reads = bool(arguments.get("monitorReads", False))
+        faults_spec = arguments.get("faults")
+
+        def factory() -> Debugger:
+            if faults_spec:
+                from repro.instrument.plan import OptimizationPlan
+                from repro.minic.codegen import compile_source
+                from repro.optimizer.pipeline import build_plan
+                from repro.session import DebugSession
+                asm = compile_source(source, lang=lang)
+                plan: Optional[OptimizationPlan] = None
+                if optimize and optimize != "none":
+                    _stmts, plan = build_plan(asm, mode=optimize)
+                session = DebugSession.from_asm(
+                    asm, strategy=strategy, plan=plan,
+                    monitor_reads=monitor_reads,
+                    faults=fault_plan_from_spec(faults_spec))
+                return Debugger(session)
+            return Debugger.for_source(
+                source, lang=lang, strategy=strategy,
+                optimize=None if optimize == "none" else optimize,
+                monitor_reads=monitor_reads)
+
+        managed = self.manager.create(factory)
+        managed.emitters.append(emit)
+        self._wire_monitor_stream(managed)
+        return {"sessionId": managed.id,
+                "strategy": strategy,
+                "quota": self.config.quota_instructions}
+
+    def _wire_monitor_stream(self, managed: ManagedSession) -> None:
+        """Stream every §2 notification as a ``monitorHit`` event,
+        annotated with the watchpoint that covers the address."""
+        debugger = managed.debugger
+
+        def on_hit(addr: int, size: int, is_read: bool) -> None:
+            body: Dict[str, Any] = {"address": addr, "size": size,
+                                    "isRead": is_read,
+                                    "pc": debugger.cpu.pc}
+            for data_id, watchpoint in managed.breakpoints.items():
+                region = watchpoint.region
+                if addr < region.end and region.start < addr + size:
+                    body["dataId"] = data_id
+                    body["symbol"] = watchpoint.name
+                    # the write has landed by notification time: read
+                    # the fresh word, not the last condition-recorded hit
+                    body["value"] = to_signed(
+                        debugger.cpu.mem.read_word(addr & ~3))
+                    break
+            managed.emit("monitorHit", body)
+
+        debugger.mrs.add_callback(on_hit)
+
+    def _data_breakpoint_info(self, arguments: Dict[str, Any], emit
+                              ) -> Dict[str, Any]:
+        session_id = _require_arg(arguments, "sessionId")
+        name = _require_arg(arguments, "name")
+        func = arguments.get("func")
+
+        def fn(managed: ManagedSession) -> Dict[str, Any]:
+            try:
+                entry, addr, size = managed.debugger.resolve(name, func)
+            except DebuggerError as exc:
+                # DAP: a null dataId means "not watchable", with a
+                # human-readable description — not a request failure
+                return {"dataId": None, "description": str(exc)}
+            strategy = managed.debugger.session.inst.strategy
+            access = (["read", "write"]
+                      if getattr(strategy, "monitor_reads", False)
+                      else ["write"])
+            return {"dataId": _data_id(name, func),
+                    "description": "%s (%s, %d bytes at 0x%x)"
+                                   % (name, entry.kind, size, addr),
+                    "accessTypes": access,
+                    "address": addr, "size": size,
+                    "canPersist": False}
+
+        return self.manager.with_session(session_id, fn)
+
+    def _set_data_breakpoints(self, arguments: Dict[str, Any], emit
+                              ) -> Dict[str, Any]:
+        session_id = _require_arg(arguments, "sessionId")
+        specs = _require_arg(arguments, "breakpoints")
+        if not isinstance(specs, list):
+            raise ProtocolError("breakpoints must be a list",
+                                field="breakpoints", reason="type")
+
+        def fn(managed: ManagedSession) -> Dict[str, Any]:
+            debugger = managed.debugger
+            # DAP replace semantics: clear the previous set first
+            for watchpoint in list(managed.breakpoints.values()):
+                debugger.unwatch(watchpoint)
+            managed.breakpoints.clear()
+            results: List[Dict[str, Any]] = []
+            for spec in specs:
+                data_id = spec.get("dataId")
+                try:
+                    if not data_id:
+                        raise ProtocolError("breakpoint without dataId",
+                                            field="dataId",
+                                            reason="missing")
+                    name, func = _split_data_id(data_id)
+                    condition = None
+                    if spec.get("condition"):
+                        condition = parse_condition(spec["condition"])
+                    action = "stop" if spec.get("stop", True) else "log"
+                    watchpoint = debugger.watch(name, func=func,
+                                                action=action,
+                                                condition=condition)
+                    managed.breakpoints[data_id] = watchpoint
+                    results.append({
+                        "verified": True, "dataId": data_id,
+                        "region": [watchpoint.region.start,
+                                   watchpoint.region.size]})
+                except (ReproError, DebuggerError) as exc:
+                    results.append({"verified": False,
+                                    "dataId": data_id,
+                                    "error": error_payload(exc)})
+            return {"breakpoints": results}
+
+        return self.manager.with_session(session_id, fn)
+
+    # -- execution ---------------------------------------------------------
+
+    def _run_body(self, managed: ManagedSession, reason: str
+                  ) -> Dict[str, Any]:
+        debugger = managed.debugger
+        cpu = debugger.cpu
+        body: Dict[str, Any] = {"reason": reason, "pc": cpu.pc,
+                                "instructions": cpu.instructions,
+                                "cycles": cpu.cycles,
+                                "exited": reason == "exited"}
+        if reason == "exited":
+            body["exitCode"] = cpu.exit_code
+        if reason == "watch" and debugger.stopped_watch is not None:
+            watchpoint = debugger.stopped_watch
+            for data_id, candidate in managed.breakpoints.items():
+                if candidate is watchpoint:
+                    body["hitBreakpointIds"] = [data_id]
+                    break
+            body["symbol"] = watchpoint.name
+            body["value"] = watchpoint.last_value()
+        return body
+
+    def _flush_output(self, managed: ManagedSession) -> None:
+        output = managed.debugger.output
+        if len(output) > managed.output_sent:
+            text = "".join(output[managed.output_sent:])
+            managed.output_sent = len(output)
+            managed.emit("output", {"output": text})
+
+    def _execute(self, session_id: str,
+                 runner: Callable[[ManagedSession], str]) -> Dict[str, Any]:
+        def fn(managed: ManagedSession) -> Dict[str, Any]:
+            before = managed.debugger.cpu.instructions
+            try:
+                reason = runner(managed)
+            except SimulationLimit as exc:
+                # quota exhausted: resumable, reported not raised
+                reason = "quota"
+                managed.debugger.stop_reason = "quota"
+                body = self._run_body(managed, reason)
+                body["quota"] = self.config.quota_instructions
+                body["resumable"] = True
+                body["budget"] = exc.budget
+                return self._finish(managed, before, body)
+            return self._finish(managed, before,
+                                self._run_body(managed, reason))
+
+        return self.manager.execute(session_id, fn)
+
+    def _finish(self, managed: ManagedSession, before: int,
+                body: Dict[str, Any]) -> Dict[str, Any]:
+        managed.instructions_spent += \
+            managed.debugger.cpu.instructions - before
+        body["instructionsSpent"] = managed.instructions_spent
+        self._flush_output(managed)
+        managed.emit("stopped", {"reason": body["reason"],
+                                 "pc": body["pc"],
+                                 "exited": body["exited"]})
+        return body
+
+    def _continue(self, arguments: Dict[str, Any], emit) -> Dict[str, Any]:
+        session_id = _require_arg(arguments, "sessionId")
+        quota = min(int(arguments.get("quota",
+                                      self.config.quota_instructions)),
+                    self.config.quota_instructions)
+        return self._execute(
+            session_id,
+            lambda managed: managed.debugger.run(max_instructions=quota))
+
+    def _step(self, arguments: Dict[str, Any], emit) -> Dict[str, Any]:
+        session_id = _require_arg(arguments, "sessionId")
+        count = int(arguments.get("count", 1))
+        count = max(1, min(count, self.config.quota_instructions))
+        return self._execute(
+            session_id, lambda managed: managed.debugger.step(count))
+
+    def _evaluate(self, arguments: Dict[str, Any], emit) -> Dict[str, Any]:
+        session_id = _require_arg(arguments, "sessionId")
+        expression = _require_arg(arguments, "expression")
+        func = arguments.get("func")
+
+        def fn(managed: ManagedSession) -> Dict[str, Any]:
+            entry, addr, value = managed.debugger.evaluate(expression,
+                                                           func)
+            return {"expression": expression, "value": value,
+                    "address": addr, "size": entry.size,
+                    "kind": entry.kind}
+
+        return self.manager.with_session(session_id, fn)
+
+    def _threads(self, arguments: Dict[str, Any], emit) -> Dict[str, Any]:
+        """Session inventory — the DAP `threads` analogue."""
+        sessions = []
+        for session_id in self.manager.session_ids():
+            try:
+                managed = self.manager.get(session_id)
+            except ServerError:
+                continue
+            sessions.append({
+                "sessionId": session_id,
+                "stopReason": managed.debugger.stop_reason
+                if managed.debugger is not None else None,
+                "instructionsSpent": managed.instructions_spent,
+                "breakpoints": len(managed.breakpoints)})
+        return {"sessions": sessions}
+
+    def _disconnect(self, arguments: Dict[str, Any], emit
+                    ) -> Dict[str, Any]:
+        session_id = _require_arg(arguments, "sessionId")
+        destroyed = self.manager.destroy(session_id, reason="disconnect")
+        return {"destroyed": destroyed}

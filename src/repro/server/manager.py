@@ -1,0 +1,237 @@
+"""Session hosting: many concurrent debuggees behind one server.
+
+A :class:`SessionManager` owns a table of :class:`ManagedSession`
+objects — each one a :class:`repro.debugger.Debugger` plus the
+bookkeeping the wire protocol needs (per-session lock, last-use stamp,
+event subscribers, the current data-breakpoint set).  The manager
+enforces the server's resource policy:
+
+* **capacity** — at most ``max_sessions`` live sessions; creating one
+  past the limit fails with a structured
+  :class:`~repro.errors.ServerError` instead of unbounded growth;
+* **bounded execution** — debuggee execution (launch / continue /
+  step) runs through :meth:`execute`, which takes one of ``workers``
+  slots, so a flood of long-running ``continue`` requests queues
+  rather than spawning unbounded simulator work;
+* **per-session serialisation** — :meth:`execute` and
+  :meth:`with_session` hold the session's reentrant lock, so two
+  connections driving one session cannot interleave mutations of the
+  debugger or its :class:`~repro.core.service.MonitoredRegionService`;
+* **idle eviction** — :meth:`evict_idle` destroys sessions unused for
+  ``idle_timeout`` seconds, emitting a ``sessionEvicted`` event to
+  their subscribers first;
+* **graceful shutdown** — :meth:`shutdown` flips the manager into a
+  draining state (new sessions and new executions are refused with
+  ``ServerError``), waits for in-flight executions to finish, then
+  destroys every session.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.debugger.debugger import Debugger
+from repro.errors import ServerError
+
+__all__ = ["ManagedSession", "SessionManager"]
+
+#: subscriber signature: (event_name, body_dict)
+EventEmitter = Callable[[str, Dict[str, Any]], None]
+
+
+class ManagedSession:
+    """One hosted debuggee plus its server-side bookkeeping."""
+
+    def __init__(self, session_id: str, debugger: Debugger):
+        self.id = session_id
+        self.debugger = debugger
+        #: reentrant: a handler holding the lock may call back in
+        self.lock = threading.RLock()
+        self.last_used = time.monotonic()
+        self.closed = False
+        #: per-connection event sinks subscribed to this session
+        self.emitters: List[EventEmitter] = []
+        #: dataId -> live Watchpoint, as set by setDataBreakpoints
+        self.breakpoints: Dict[str, Any] = {}
+        #: chars of debuggee output already streamed as `output` events
+        self.output_sent = 0
+        #: cumulative instructions spent on this session's requests
+        self.instructions_spent = 0
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+
+    def emit(self, event: str, body: Dict[str, Any]) -> None:
+        """Send *event* to every subscriber; a dead sink is dropped
+        rather than poisoning the others."""
+        payload = dict(body)
+        payload.setdefault("sessionId", self.id)
+        for emitter in list(self.emitters):
+            try:
+                emitter(event, payload)
+            except Exception:
+                try:
+                    self.emitters.remove(emitter)
+                except ValueError:
+                    pass
+
+    def idle_for(self, now: Optional[float] = None) -> float:
+        return (time.monotonic() if now is None else now) - self.last_used
+
+
+class SessionManager:
+    def __init__(self, max_sessions: int = 16,
+                 idle_timeout: Optional[float] = None,
+                 workers: int = 8):
+        self.max_sessions = max_sessions
+        self.idle_timeout = idle_timeout
+        self.workers = workers
+        self._sessions: Dict[str, ManagedSession] = {}
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._ids = itertools.count(1)
+        self._exec_slots = threading.BoundedSemaphore(workers)
+        self._inflight = 0
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def create(self, factory: Callable[[], Debugger]) -> ManagedSession:
+        """Build a debugger via *factory* and register it.
+
+        The factory runs outside the manager lock (compiling and
+        instrumenting a program is the expensive part), but the
+        capacity check and the table insert are atomic.
+        """
+        with self._lock:
+            if self._draining:
+                raise ServerError("server is draining; no new sessions",
+                                  reason="draining")
+            if len(self._sessions) >= self.max_sessions:
+                raise ServerError(
+                    "session capacity exhausted (%d live)"
+                    % len(self._sessions), reason="capacity",
+                    max_sessions=self.max_sessions)
+            session_id = "s%d" % next(self._ids)
+            # reserve the slot so a concurrent create cannot overshoot
+            placeholder = ManagedSession(session_id, None)  # type: ignore
+            self._sessions[session_id] = placeholder
+        try:
+            debugger = factory()
+        except BaseException:
+            with self._lock:
+                self._sessions.pop(session_id, None)
+            raise
+        placeholder.debugger = debugger
+        placeholder.touch()
+        return placeholder
+
+    def get(self, session_id: str) -> ManagedSession:
+        with self._lock:
+            managed = self._sessions.get(session_id)
+        if managed is None or managed.closed or managed.debugger is None:
+            raise ServerError("unknown session %r" % (session_id,),
+                              reason="unknown_session",
+                              session=session_id)
+        return managed
+
+    def destroy(self, session_id: str, reason: str = "disconnect") -> bool:
+        """Tear a session down, notifying subscribers.  Idempotent."""
+        with self._lock:
+            managed = self._sessions.pop(session_id, None)
+        if managed is None or managed.closed:
+            return False
+        managed.closed = True
+        managed.emit("sessionEvicted", {"reason": reason})
+        managed.emitters = []
+        return True
+
+    def session_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- execution ---------------------------------------------------------
+
+    def with_session(self, session_id: str, fn: Callable[[ManagedSession],
+                                                         Any]) -> Any:
+        """Run *fn* holding the session lock (cheap, unbounded ops)."""
+        managed = self.get(session_id)
+        with managed.lock:
+            managed.touch()
+            result = fn(managed)
+        managed.touch()
+        return result
+
+    def execute(self, session_id: str, fn: Callable[[ManagedSession],
+                                                    Any]) -> Any:
+        """Run *fn* under a bounded worker slot + the session lock.
+
+        This is the path for debuggee execution; the semaphore caps how
+        many simulations run concurrently across all sessions, and the
+        in-flight count lets :meth:`shutdown` drain cleanly.
+        """
+        with self._lock:
+            if self._draining:
+                raise ServerError("server is draining; request refused",
+                                  reason="draining")
+            self._inflight += 1
+        try:
+            with self._exec_slots:
+                managed = self.get(session_id)
+                with managed.lock:
+                    managed.touch()
+                    result = fn(managed)
+                managed.touch()
+                return result
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
+
+    # -- eviction / shutdown -----------------------------------------------
+
+    def evict_idle(self, timeout: Optional[float] = None) -> List[str]:
+        """Destroy sessions idle longer than *timeout* (defaults to the
+        manager's ``idle_timeout``); returns the evicted ids."""
+        timeout = self.idle_timeout if timeout is None else timeout
+        if timeout is None:
+            return []
+        now = time.monotonic()
+        with self._lock:
+            stale = [(sid, managed)
+                     for sid, managed in self._sessions.items()
+                     if managed.idle_for(now) > timeout]
+        evicted = []
+        for session_id, managed in stale:
+            # skip sessions mid-request: a held lock means live traffic
+            if not managed.lock.acquire(blocking=False):
+                continue
+            managed.lock.release()
+            if self.destroy(session_id, reason="idle"):
+                evicted.append(session_id)
+        return evicted
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = 30.0) -> None:
+        """Refuse new work, optionally wait for in-flight executions,
+        then destroy every session (reason ``"shutdown"``)."""
+        with self._idle:
+            self._draining = True
+            if drain:
+                deadline = (None if timeout is None
+                            else time.monotonic() + timeout)
+                while self._inflight > 0:
+                    remaining = (None if deadline is None
+                                 else deadline - time.monotonic())
+                    if remaining is not None and remaining <= 0:
+                        break
+                    self._idle.wait(remaining)
+        for session_id in self.session_ids():
+            self.destroy(session_id, reason="shutdown")

@@ -33,6 +33,9 @@ class DebugSession:
         self.mrs = mrs
         self.cpu = loaded.cpu
         self.program = loaded.program
+        #: True once run() has been called at least once
+        self.started = False
+        self._entry_state = None
 
     @classmethod
     def from_asm(cls, asm_source: str, strategy="Bitmap",
@@ -65,6 +68,33 @@ class DebugSession:
 
     def run(self, max_instructions: int = 400_000_000,
             watchdog=None, resume: bool = False) -> int:
+        """Run (or resume) the debuggee; safely re-runnable.
+
+        A fresh ``run()`` after a previous one — e.g. a server client
+        relaunching after a :class:`~repro.machine.cpu.SimulationLimit`
+        — rewinds the debuggee to the state it had when first started
+        (memory image, registers, counters, output, monitor state), so
+        instruction/cycle counters are not double-counted and stale trap
+        state cannot leak into the new run.  A watchdog passed here is
+        re-armed by the CPU relative to the (restored) counters, so each
+        call grants its full budget.  ``resume=True`` before any run is
+        treated as a fresh start.
+        """
+        if resume and not self.started:
+            resume = False
+        if not resume:
+            if self._entry_state is None:
+                from repro.machine.checkpoint import Checkpoint
+                self._entry_state = Checkpoint(self.cpu,
+                                               output=self.loaded.output,
+                                               mrs=self.mrs)
+            elif self.started:
+                self._entry_state.restore(self.cpu,
+                                          output=self.loaded.output,
+                                          mrs=self.mrs)
+                self.cpu.running = False
+                self.cpu.exit_code = None
+        self.started = True
         return self.loaded.run(max_instructions=max_instructions,
                                watchdog=watchdog, resume=resume)
 
