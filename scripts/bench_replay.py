@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Time-travel recording benchmark.
+
+Runs two §6 workloads with a data breakpoint armed, once plain and
+once under an active :class:`repro.replay.Recorder`, to price the
+keyframe + write-trace overhead.  Then, from the recorded end state,
+measures reverse-continue latency (restore nearest keyframe +
+deterministic re-execution) walking hits newest-to-oldest, and
+``last_write`` latency on the watched expression.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_replay.py            # full run
+    PYTHONPATH=src python scripts/bench_replay.py --smoke    # CI-sized
+    PYTHONPATH=src python scripts/bench_replay.py -o BENCH_replay.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.debugger import Debugger
+from repro.workloads import WORKLOADS, workload_source
+
+#: (workload name, watched expression) — the Workload table carries no
+#: watch metadata, so each benchmark names a global it knows the
+#: workload writes: eqntott's PRNG seed churns on every rnd() call,
+#: matrix300's result matrix is written throughout the multiply.
+TARGETS = [
+    ("023.eqntott", "__seed"),
+    ("030.matrix300", "c[24]"),
+]
+
+
+def percentile(samples, fraction):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def make_debugger(name, scale, watch_expr):
+    workload = WORKLOADS[name]
+    debugger = Debugger.for_source(workload_source(name, scale),
+                                   lang=workload.lang)
+    debugger.watch(watch_expr, action="log")
+    return debugger
+
+
+def timed_run(debugger, stride):
+    """Run to exit in *stride*-sized step chunks, returning wall time.
+
+    The plain baseline is driven through the same chunked-stepping
+    path the recorder uses (rather than ``cpu.run``'s watchdog loop),
+    so the overhead percentage isolates keyframe capture + trace
+    bookkeeping instead of differences in loop overhead.
+    """
+    begin = time.perf_counter()
+    reason = "step"
+    while reason == "step":
+        reason = debugger.step(stride)
+    elapsed = time.perf_counter() - begin
+    if reason != "exited":
+        raise SystemExit("workload did not run to exit: %r" % reason)
+    return elapsed
+
+
+def bench_workload(name, watch_expr, scale, stride, reverse_hits,
+                   last_write_calls, repeats):
+    # untimed warm-up so the plain run doesn't absorb interpreter
+    # warm-up costs and skew the overhead percentage
+    timed_run(make_debugger(name, scale, watch_expr), stride)
+
+    # interleave plain/recorded repeats (best-of) so slow drift in
+    # machine load biases both sides equally
+    plain_samples = []
+    recorded_samples = []
+    for _ in range(repeats):
+        plain_samples.append(
+            timed_run(make_debugger(name, scale, watch_expr), stride))
+        recorded = make_debugger(name, scale, watch_expr)
+        recorder = recorded.record(stride=stride)
+        begin = time.perf_counter()
+        reason = recorded.run()
+        recorded_samples.append(time.perf_counter() - begin)
+        if reason != "exited":
+            raise SystemExit("recorded run did not exit: %r" % reason)
+    plain_s = min(plain_samples)
+    recorded_s = min(recorded_samples)
+    instructions = recorded.cpu.instructions
+    trace_len = len(recorder.trace)
+
+    reverse_ms = []
+    for _ in range(min(reverse_hits, trace_len)):
+        begin = time.perf_counter()
+        reason = recorded.reverse_continue()
+        reverse_ms.append((time.perf_counter() - begin) * 1e3)
+        if reason == "replay-start":
+            break
+
+    last_write_ms = []
+    for _ in range(last_write_calls):
+        begin = time.perf_counter()
+        recorded.last_write(watch_expr)
+        last_write_ms.append((time.perf_counter() - begin) * 1e3)
+
+    return {
+        "workload": name,
+        "watch": watch_expr,
+        "scale": scale,
+        "stride": stride,
+        "instructions": instructions,
+        "monitor_hits_traced": trace_len,
+        "keyframes": len(recorder.keyframes),
+        "plain_run_s": round(plain_s, 4),
+        "recorded_run_s": round(recorded_s, 4),
+        "recording_overhead_pct":
+            round((recorded_s - plain_s) / plain_s * 100.0, 1),
+        "reverse_continue_ms": {
+            "samples": len(reverse_ms),
+            "p50": round(percentile(reverse_ms, 0.50), 3),
+            "p90": round(percentile(reverse_ms, 0.90), 3),
+            "max": round(max(reverse_ms), 3) if reverse_ms else 0.0,
+        },
+        "last_write_ms": {
+            "samples": len(last_write_ms),
+            "p50": round(percentile(last_write_ms, 0.50), 3),
+            "max": round(max(last_write_ms), 3) if last_write_ms else 0.0,
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier")
+    parser.add_argument("--stride", type=int, default=2000,
+                        help="instructions between keyframes")
+    parser.add_argument("--reverse-hits", type=int, default=25,
+                        help="reverse-continue stops to sample")
+    parser.add_argument("--last-write-calls", type=int, default=20)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per configuration (best-of)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (scale 0.3, few samples)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args()
+    scale = 0.3 if args.smoke else args.scale
+    reverse_hits = 5 if args.smoke else args.reverse_hits
+    last_write_calls = 5 if args.smoke else args.last_write_calls
+    repeats = 1 if args.smoke else args.repeats
+
+    report = {"benchmark": "repro.replay", "workloads": [
+        bench_workload(name, watch_expr, scale, args.stride,
+                       reverse_hits, last_write_calls, repeats)
+        for name, watch_expr in TARGETS
+    ]}
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

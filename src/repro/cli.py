@@ -12,7 +12,11 @@ Commands:
 * ``serve`` — host the multi-session debug server (DAP-lite wire
   protocol over TCP);
 * ``connect FILE.c`` — run a mini-C program on a remote debug server
-  with data breakpoints, streaming monitor hits.
+  with data breakpoints, streaming monitor hits;
+* ``record FILE.c`` — run under the time-travel recorder, printing the
+  write-trace (optionally saving it for determinism checks);
+* ``replay FILE.c`` — record a run, then travel backwards through it
+  (reverse-continue walk, last-write queries, trace verification).
 """
 
 from __future__ import annotations
@@ -98,6 +102,48 @@ def _add_connect_parser(subparsers) -> None:
                              "(e.g. '== 42')")
 
 
+def _add_record_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "record", help="run under the time-travel recorder")
+    parser.add_argument("file", help="mini-C source file")
+    parser.add_argument("--lang", default="C", choices=["C", "F"])
+    parser.add_argument("--strategy", default="BitmapInlineRegisters")
+    parser.add_argument("--optimize", default="full",
+                        choices=["full", "sym", "none"])
+    parser.add_argument("--watch", action="append", default=[],
+                        metavar="EXPR",
+                        help="data breakpoint to record (repeatable)")
+    parser.add_argument("--stride", type=int, default=None,
+                        help="keyframe stride in instructions")
+    parser.add_argument("-o", "--trace-out", metavar="FILE",
+                        help="save the canonical write-trace bytes")
+
+
+def _add_replay_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "replay", help="record a run, then travel backwards through it")
+    parser.add_argument("file", help="mini-C source file")
+    parser.add_argument("--lang", default="C", choices=["C", "F"])
+    parser.add_argument("--strategy", default="BitmapInlineRegisters")
+    parser.add_argument("--optimize", default="full",
+                        choices=["full", "sym", "none"])
+    parser.add_argument("--watch", action="append", default=[],
+                        metavar="EXPR",
+                        help="data breakpoint to travel to (repeatable)")
+    parser.add_argument("--stride", type=int, default=None,
+                        help="keyframe stride in instructions")
+    parser.add_argument("--back", type=int, default=None, metavar="N",
+                        help="stop after N reverse-continues "
+                             "(default: walk to the start)")
+    parser.add_argument("--last-write", action="append", default=[],
+                        metavar="EXPR",
+                        help="report the last write to EXPR "
+                             "(repeatable; may re-execute)")
+    parser.add_argument("--verify", metavar="FILE",
+                        help="check the write-trace is byte-identical "
+                             "to a saved one (determinism proof)")
+
+
 _EVAL_COMMANDS = {
     "table1": ("repro.eval.table1", 1.0),
     "table2": ("repro.eval.table2", 1.0),
@@ -120,6 +166,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_asm_parser(subparsers)
     _add_serve_parser(subparsers)
     _add_connect_parser(subparsers)
+    _add_record_parser(subparsers)
+    _add_replay_parser(subparsers)
     for name, (_module, default_scale) in _EVAL_COMMANDS.items():
         sub = subparsers.add_parser(
             name, help="regenerate the paper's %s" % name)
@@ -188,6 +236,111 @@ def _command_asm(args) -> int:
         print("\n".join(lines))
     else:
         print(asm)
+    return 0
+
+
+def _record_run(args):
+    """Compile, watch, record and run *args.file* to completion."""
+    from repro.debugger import Debugger
+
+    with open(args.file) as handle:
+        source = handle.read()
+    optimize = None if args.optimize == "none" else args.optimize
+    debugger = Debugger.for_source(source, lang=args.lang,
+                                   strategy=args.strategy,
+                                   optimize=optimize)
+    for expr in args.watch:
+        debugger.watch(expr, action="log")
+    recorder = debugger.record(stride=args.stride)
+    reason = debugger.run()
+    while reason not in ("exited",):
+        reason = debugger.run()
+    output = "".join(debugger.output)
+    if output:
+        sys.stdout.write(output)
+        if not output.endswith("\n"):
+            sys.stdout.write("\n")
+    return debugger, recorder
+
+
+def _print_trace(debugger, recorder) -> None:
+    stats = recorder.stats()
+    print("-- recorded %d instructions: %d write(s), %d keyframe(s) "
+          "(stride %d), trace digest 0x%08x"
+          % (stats["end_index"] - stats["start_index"],
+             stats["trace_records"], stats["keyframes"],
+             stats["stride"], recorder.trace.digest()))
+    if recorder.trace.dropped:
+        print("-- oldest %d record(s) evicted from the trace ring"
+              % recorder.trace.dropped)
+    def symbol_for(addr: int, size: int):
+        for watchpoint in debugger.watchpoints:
+            region = watchpoint.region
+            if addr < region.end and region.start < addr + size:
+                return watchpoint.name
+        return None
+
+    for record in recorder.trace:
+        symbol = symbol_for(record.addr, record.size)
+        print("   [%6d] pc=0x%08x %-5s 0x%08x (%d bytes)  %d -> %d%s"
+              % (record.index, record.pc,
+                 "read" if record.is_read else "wrote",
+                 record.addr, record.size, record.old, record.new,
+                 "  [%s]" % symbol if symbol else ""))
+
+
+def _command_record(args) -> int:
+    debugger, recorder = _record_run(args)
+    _print_trace(debugger, recorder)
+    if args.trace_out:
+        data = recorder.trace.to_bytes()
+        with open(args.trace_out, "wb") as handle:
+            handle.write(data)
+        print("-- trace saved to %s (%d bytes)"
+              % (args.trace_out, len(data)))
+    return 0
+
+
+def _command_replay(args) -> int:
+    from repro.errors import ReplayError
+
+    debugger, recorder = _record_run(args)
+    _print_trace(debugger, recorder)
+    if args.verify:
+        with open(args.verify, "rb") as handle:
+            saved = handle.read()
+        if saved == recorder.trace.to_bytes():
+            print("-- trace verified: byte-identical to %s"
+                  % args.verify)
+        else:
+            print("-- trace DIVERGED from %s" % args.verify)
+            return 1
+    remaining = args.back if args.back is not None else -1
+    while remaining != 0:
+        reason = debugger.reverse_continue()
+        if reason != "watch":
+            print("-- at the start of the recording (instruction %d)"
+                  % debugger.cpu.instructions)
+            break
+        watchpoint = debugger.stopped_watch
+        print("-- reverse-continue: %s = %s (instruction %d)"
+              % (watchpoint.name, watchpoint.last_value(),
+                 debugger.cpu.instructions))
+        remaining -= 1
+    for expr in args.last_write:
+        try:
+            answer = debugger.last_write(expr)
+        except ReplayError as exc:
+            print("-- last-write %s: error: %s" % (expr, exc))
+            continue
+        if answer is None:
+            print("-- last-write %s: never written while recorded"
+                  % expr)
+        else:
+            print("-- last-write %s: pc=0x%08x instruction %d: "
+                  "%d -> %d  [%s]"
+                  % (expr, answer.pc, answer.index, answer.old,
+                     answer.new, answer.source))
     return 0
 
 
@@ -286,6 +439,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "connect":
         return _command_connect(args)
+    if args.command == "record":
+        return _command_record(args)
+    if args.command == "replay":
+        return _command_replay(args)
     if args.command == "breakeven":
         from repro.eval.breakeven import main as breakeven_main
         breakeven_main()

@@ -99,9 +99,15 @@ class Debugger:
         self.stopped_watch: Optional[Watchpoint] = None
         self._started = False
         self.log: List[str] = []
+        self._recorder = None
+        self._replay = None
         self.mrs.add_callback(self._on_hit)
         self.cpu.trap_handlers[TRAP_BREAKPOINT] = self._on_breakpoint
         self.mrs.enable()
+        # a session-level entry rewind restores the machine and MRS but
+        # not debugger-side statistics; reset them so repeated runs
+        # report clean numbers
+        session.add_rewind_hook(self._on_session_rewind)
 
     # -- construction ------------------------------------------------------
 
@@ -188,6 +194,8 @@ class Debugger:
         watchpoint = Watchpoint(self, expression, entry, region, action,
                                 condition, callback, func)
         self.watchpoints.append(watchpoint)
+        if self._recorder is not None:
+            self._recorder.on_monitor_change()
         return watchpoint
 
     def unwatch(self, watchpoint: Watchpoint) -> None:
@@ -203,6 +211,8 @@ class Debugger:
                 self.mrs.delete_region(region)
                 del self._region_refs[key]
         self.mrs.post_monitor(watchpoint.entry.name, watchpoint.func)
+        if self._recorder is not None:
+            self._recorder.on_monitor_change()
 
     def _on_hit(self, addr: int, size: int, is_read: bool) -> None:
         for watchpoint in self.watchpoints:
@@ -316,9 +326,17 @@ class Debugger:
                   self._region_refs.items()})
         return (snapshot, extra)
 
-    def restore(self, checkpoint) -> None:
+    def restore(self, checkpoint, discard_recording: bool = True) -> None:
         """Rewind the debuggee to a :meth:`checkpoint` — including the
-        watchpoint set as it stood then."""
+        watchpoint set as it stood then.
+
+        An *external* restore moves the debuggee to a point the active
+        recording knows nothing about, so the recording is discarded
+        (the replay engine's own keyframe restores pass
+        ``discard_recording=False``).
+        """
+        if discard_recording:
+            self.stop_record()
         snapshot, (watchpoints, hits, log, started,
                    region_refs) = checkpoint
         snapshot.restore(self.cpu, output=self.session.output,
@@ -333,17 +351,113 @@ class Debugger:
         self.stop_reason = None
         self.stopped_watch = None
 
+    def _on_session_rewind(self) -> None:
+        """Reset the statistics a session entry rewind cannot see."""
+        for watchpoint in self.watchpoints:
+            watchpoint.hits = []
+        for breakpoint in self.breakpoints.values():
+            breakpoint.hits = 0
+        self.log = []
+        self.stop_reason = None
+        self.stopped_watch = None
+        self.stop_record()
+
+    # -- record / time travel (§5, the replay workload) ---------------------------
+
+    def record(self, stride: Optional[int] = None,
+               max_keyframes: Optional[int] = None,
+               max_trace: Optional[int] = None):
+        """Start recording for time travel; returns the
+        :class:`~repro.replay.recorder.Recorder`.
+
+        Subsequent :meth:`run`/:meth:`step` calls capture keyframes
+        every *stride* instructions and log every monitor hit, enabling
+        :meth:`reverse_continue`, :meth:`reverse_step` and
+        :meth:`last_write`.
+        """
+        from repro.replay import (DEFAULT_MAX_KEYFRAMES,
+                                  DEFAULT_MAX_TRACE, DEFAULT_STRIDE,
+                                  Recorder, ReplayController, ReplayError)
+        if self._recorder is not None:
+            raise ReplayError("recording already active")
+        recorder = Recorder(
+            self,
+            stride=stride if stride is not None else DEFAULT_STRIDE,
+            max_keyframes=(max_keyframes if max_keyframes is not None
+                           else DEFAULT_MAX_KEYFRAMES),
+            max_trace=max_trace if max_trace is not None
+            else DEFAULT_MAX_TRACE)
+        recorder.start()
+        self._recorder = recorder
+        self._replay = ReplayController(self, recorder)
+        return recorder
+
+    @property
+    def recording(self) -> bool:
+        return self._recorder is not None
+
+    @property
+    def recorder(self):
+        return self._recorder
+
+    def stop_record(self) -> None:
+        """Discard the active recording (idempotent)."""
+        if self._recorder is not None:
+            self._recorder.detach()
+            self._recorder = None
+            self._replay = None
+
+    def _require_replay(self):
+        from repro.replay import ReplayError
+        if self._replay is None:
+            raise ReplayError(
+                "no active recording; call record() before time travel",
+                reason="not_recording")
+        return self._replay
+
+    def reverse_continue(self) -> str:
+        """Run backwards to the most recent write to a watched region;
+        returns "watch" or "replay-start"."""
+        return self._require_replay().reverse_continue()
+
+    def reverse_step(self, count: int = 1) -> str:
+        """Step *count* instructions backwards; returns "step" or
+        "replay-start" when clamped at the recording's start."""
+        return self._require_replay().reverse_step(count)
+
+    def last_write(self, expression: str, func: Optional[str] = None):
+        """Most recent write to *expression*'s storage at or before the
+        current point in time, as a
+        :class:`~repro.replay.controller.LastWrite` (or None if never
+        written while recorded)."""
+        replay = self._require_replay()
+        _entry, addr, size = self.resolve(expression, func)
+        return replay.last_write_to(addr, size, expression=expression,
+                                    func=func)
+
     # -- execution -----------------------------------------------------------------
 
     def run(self, max_instructions: int = 400_000_000) -> str:
         """Run or resume; returns the stop reason ("exited", "watch",
-        "breakpoint:<func>")."""
+        "breakpoint:<func>").  Under an active recording, execution is
+        driven through the recorder (keyframes + trace capture)."""
+        if self._recorder is not None and self._recorder.active:
+            self.stop_reason = None
+            self.stopped_watch = None
+            reason = self._recorder.resume(max_instructions)
+            if self.stop_reason is None:
+                self.stop_reason = reason
+            return self.stop_reason
+        return self._run_raw(max_instructions)
+
+    def _run_raw(self, max_instructions: int = 400_000_000) -> str:
         self.stop_reason = None
         self.stopped_watch = None
         if not self._started:
             self._started = True
             self.cpu.pc = self.session.loaded.entry
             self.cpu.npc = self.cpu.pc + 4
+            self.session.mark_started()
         self.cpu.run(start=None, max_instructions=max_instructions)
         if self.stop_reason is None:
             self.stop_reason = "exited"
@@ -353,6 +467,17 @@ class Debugger:
         """Execute up to *count* instructions; returns the stop reason
         ("exited", "watch", "breakpoint:<func>", or "step" when the
         count ran out with the program still live)."""
+        reason = self._step_raw(count)
+        if self._recorder is not None and self._recorder.active and \
+                self._recorder.mode == "record":
+            recorder = self._recorder
+            recorder.end_index = max(recorder.end_index,
+                                     self.cpu.instructions)
+            recorder.end_progress = max(recorder.end_progress,
+                                        recorder._progress())
+        return reason
+
+    def _step_raw(self, count: int = 1) -> str:
         self.stop_reason = None
         self.stopped_watch = None
         cpu = self.cpu
@@ -360,6 +485,7 @@ class Debugger:
             self._started = True
             cpu.pc = self.session.loaded.entry
             cpu.npc = cpu.pc + 4
+            self.session.mark_started()
         cpu.running = True
         for _ in range(count):
             cpu.step()

@@ -14,6 +14,10 @@ so data breakpoints can be explored by hand:
     (pdb93) disasm bump            # patched code, checks tagged
     (pdb93) checkpoint             # snapshot for replay
     (pdb93) restore                # rewind to the snapshot
+    (pdb93) record                 # start time-travel recording
+    (pdb93) rc                     # reverse-continue to the last write
+    (pdb93) rs 10                  # step 10 instructions backwards
+    (pdb93) lastwrite balance      # who wrote this last?
     (pdb93) quit
 """
 
@@ -23,6 +27,7 @@ import shlex
 from typing import Callable, Dict, List, Optional
 
 from repro.debugger.debugger import Debugger, DebuggerError
+from repro.errors import ReplayError
 
 
 class DebuggerRepl:
@@ -52,6 +57,12 @@ class DebuggerRepl:
             "disasm": self._cmd_disasm,
             "checkpoint": self._cmd_checkpoint,
             "restore": self._cmd_restore,
+            "record": self._cmd_record,
+            "rc": self._cmd_reverse_continue,
+            "reverse-continue": self._cmd_reverse_continue,
+            "rs": self._cmd_reverse_step,
+            "reverse-step": self._cmd_reverse_step,
+            "lastwrite": self._cmd_last_write,
             "help": self._cmd_help,
         }
 
@@ -71,7 +82,7 @@ class DebuggerRepl:
             return True
         try:
             handler(args)
-        except DebuggerError as exc:
+        except (DebuggerError, ReplayError) as exc:
             self._write("error: %s" % exc)
         return True
 
@@ -207,9 +218,56 @@ class DebuggerRepl:
         self._finished = False
         self._write("restored to pc=0x%08x" % self.debugger.cpu.pc)
 
+    def _cmd_record(self, args: List[str]) -> None:
+        if self.debugger.recording:
+            self._write("already recording")
+            return
+        stride = int(args[0]) if args else None
+        recorder = self.debugger.record(stride=stride)
+        self._write("recording (keyframe stride %d instructions)"
+                    % recorder.stride)
+
+    def _cmd_reverse_continue(self, args: List[str]) -> None:
+        reason = self.debugger.reverse_continue()
+        self._finished = False
+        if reason == "watch":
+            watchpoint = self.debugger.stopped_watch
+            self._write("stopped backwards: %s = %s (instruction %d)"
+                        % (watchpoint.name, watchpoint.last_value(),
+                           self.debugger.cpu.instructions))
+        else:
+            self._write("at the start of the recording")
+
+    def _cmd_reverse_step(self, args: List[str]) -> None:
+        count = int(args[0]) if args else 1
+        reason = self.debugger.reverse_step(count)
+        self._finished = False
+        cpu = self.debugger.cpu
+        if reason == "replay-start":
+            self._write("at the start of the recording")
+            return
+        insn = cpu.code.at(cpu.pc)
+        self._write("pc=0x%08x: %s" % (cpu.pc, insn))
+
+    def _cmd_last_write(self, args: List[str]) -> None:
+        if not args:
+            self._write("usage: lastwrite EXPR [func]")
+            return
+        func = args[1] if len(args) > 1 else None
+        answer = self.debugger.last_write(args[0], func)
+        if answer is None:
+            self._write("%s was never written while recorded" % args[0])
+            return
+        from repro.isa.instructions import to_signed
+        self._write("%s last written at pc=0x%08x (instruction %d): "
+                    "%d -> %d" % (args[0], answer.pc, answer.index,
+                                  to_signed(answer.old),
+                                  to_signed(answer.new)))
+
     def _cmd_help(self, args: List[str]) -> None:
         self._write("commands: watch trace unwatch break run/continue "
-                    "step print info disasm checkpoint restore quit")
+                    "step print info disasm checkpoint restore record "
+                    "rc rs lastwrite quit")
 
 
 def _stdout_write(text: str) -> None:

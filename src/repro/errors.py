@@ -118,6 +118,36 @@ class ServerError(ReproError):
     """
 
 
+class ReplayError(ReproError):
+    """An invalid record/replay request (e.g. time travel without an
+    active recording), or a recording that can no longer serve one."""
+
+
+class DivergenceError(ReplayError):
+    """Deterministic re-execution drifted from the recorded trace.
+
+    Replay is only correct if re-execution reproduces the recorded run
+    exactly; any mismatch — a monitor hit that differs from the
+    recorded one, or a keyframe whose state digest no longer matches —
+    raises this instead of silently returning a wrong answer.
+    :attr:`context` carries the expected and observed values
+    (``expected_pc``/``observed_pc``, ``expected_digest``/
+    ``observed_digest``, ``index``).
+    """
+
+    @property
+    def expected(self):
+        return {key[len("expected_"):]: value
+                for key, value in self.context.items()
+                if key.startswith("expected_")}
+
+    @property
+    def observed(self):
+        return {key[len("observed_"):]: value
+                for key, value in self.context.items()
+                if key.startswith("observed_")}
+
+
 class RegionCreateError(MrsTransactionError):
     """``CreateMonitoredRegion`` failed; all state was rolled back."""
 

@@ -49,10 +49,12 @@ SERVICE_PRE_MONITOR = "service.pre_monitor"
 SERVICE_POST_MONITOR = "service.post_monitor"
 #: any simulated-memory word/byte write (machine.memory)
 MEMORY_WRITE = "memory.write"
+#: keyframe capture in the record/replay engine (replay.recorder)
+REPLAY_KEYFRAME = "replay.keyframe"
 
 FAULT_POINTS = (BITMAP_ALLOC, BITMAP_PUBLISH, PATCH_INSTALL, PATCH_REMOVE,
                 SERVICE_CREATE, SERVICE_DELETE, SERVICE_PRE_MONITOR,
-                SERVICE_POST_MONITOR, MEMORY_WRITE)
+                SERVICE_POST_MONITOR, MEMORY_WRITE, REPLAY_KEYFRAME)
 
 
 class FaultPlan:

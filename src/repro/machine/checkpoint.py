@@ -28,7 +28,7 @@ class Checkpoint:
                  "window_counters", "memory_words", "brk", "code_insns",
                  "cycles", "instructions", "loads", "stores", "traps_taken",
                  "tag_cycles", "tag_counts", "cache_lines", "cache_stats",
-                 "output_len", "mrs_state")
+                 "window_depth", "run_state", "output_len", "mrs_state")
 
     def __init__(self, cpu: CPU, output: Optional[List[str]] = None,
                  mrs=None):
@@ -52,6 +52,8 @@ class Checkpoint:
         self.tag_counts = dict(cpu.tag_counts)
         self.cache_lines = list(cpu.cache.lines)
         self.cache_stats = (cpu.cache.hits, cpu.cache.misses)
+        self.window_depth = (cpu._window_depth, cpu.max_window_depth)
+        self.run_state = (cpu.running, cpu.exit_code)
         self.output_len = len(output) if output is not None else None
         self.mrs_state = _snapshot_mrs(mrs) if mrs is not None else None
 
@@ -78,6 +80,8 @@ class Checkpoint:
         cpu.tag_counts = dict(self.tag_counts)
         cpu.cache.lines[:] = self.cache_lines
         cpu.cache.hits, cpu.cache.misses = self.cache_stats
+        cpu._window_depth, cpu.max_window_depth = self.window_depth
+        cpu.running, cpu.exit_code = self.run_state
         cpu.write_trace = []
         cpu._branch_target = None
         cpu._annul_slot = False

@@ -1,0 +1,36 @@
+"""Deterministic record/replay with time-travel data breakpoints.
+
+The paper closes §5 with "checkpointing data for replayed execution";
+this package is that workload built on the existing machinery: the
+:class:`~repro.machine.checkpoint.Checkpoint` snapshots become
+periodic **keyframes**, §2 monitor notifications become a compact
+**write-trace**, and the two together answer the question users
+actually ask a data breakpoint — *when was this last written?* —
+backwards in time.
+
+* :class:`~repro.replay.recorder.Recorder` — keyframe ring + trace
+  capture + re-execution verification;
+* :class:`~repro.replay.controller.ReplayController` —
+  ``reverse_continue`` / ``reverse_step`` / ``last_write_to``;
+* :class:`~repro.replay.trace.WriteTrace` — the canonical, bounded,
+  byte-serialisable hit log.
+
+Entry points: ``Debugger.record()`` / ``reverse_continue()`` /
+``reverse_step()`` / ``last_write()``; the REPL's ``record`` / ``rc``
+/ ``rs`` / ``lastwrite`` commands; ``repro record`` / ``repro
+replay`` on the command line; and the debug server's ``stepBack`` /
+``reverseContinue`` / ``lastWrite`` requests (protocol v2,
+``supportsStepBack``).
+"""
+
+from repro.errors import DivergenceError, ReplayError
+from repro.replay.controller import LastWrite, ReplayController
+from repro.replay.recorder import (Keyframe, Recorder, state_digest,
+                                   DEFAULT_MAX_KEYFRAMES,
+                                   DEFAULT_MAX_TRACE, DEFAULT_STRIDE)
+from repro.replay.trace import WriteRecord, WriteTrace
+
+__all__ = ["DivergenceError", "Keyframe", "LastWrite", "Recorder",
+           "ReplayController", "ReplayError", "WriteRecord",
+           "WriteTrace", "state_digest", "DEFAULT_STRIDE",
+           "DEFAULT_MAX_KEYFRAMES", "DEFAULT_MAX_TRACE"]

@@ -1,0 +1,279 @@
+"""Time travel: reverse-continue / reverse-step / last-write-to.
+
+The controller answers "what happened before now?" questions with the
+only primitive a deterministic simulator needs: restore the nearest
+keyframe at or before the target and re-execute forward with the MRS
+armed.  Re-execution runs in the recorder's ``replay`` mode, so every
+monitor hit is verified against the recorded trace and every keyframe
+crossing checks a state digest — a drifted replay raises
+:class:`~repro.errors.DivergenceError` instead of stopping at a wrong
+point in time.
+
+``last_write_to`` has two paths:
+
+* **trace query** — when the asked-about region has been continuously
+  monitored since before the candidate write, the recorded trace
+  already holds the answer;
+* **re-execution scan** — otherwise the controller checkpoints the
+  present, rewinds to the oldest keyframe, arms a temporary watchpoint
+  over the region (``PreMonitor`` + ``CreateMonitoredRegion``, so
+  optimizer-eliminated checks are re-inserted) and re-executes to the
+  current point in monitoring-invariant time (original + library
+  instruction counts, which an extra monitored region cannot perturb),
+  collecting hits; the present is then restored bit-exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional
+
+from repro.errors import DivergenceError, ReplayError
+from repro.replay.recorder import Recorder
+from repro.replay.trace import WriteRecord
+
+__all__ = ["LastWrite", "ReplayController"]
+
+
+class LastWrite(NamedTuple):
+    """The answer to ``last_write_to``: who wrote this region last."""
+
+    pc: int       #: notification-trap pc of the write
+    index: int    #: instruction index of the write
+    old: int      #: word value before the write
+    new: int      #: word value after the write
+    addr: int     #: written address
+    size: int     #: access width in bytes
+    source: str   #: "trace" (recorded) or "scan" (re-executed)
+
+
+class ReplayController:
+    """Reverse execution over one :class:`Recorder`'s history."""
+
+    def __init__(self, debugger, recorder: Recorder):
+        self.debugger = debugger
+        self.recorder = recorder
+        self.cpu = debugger.cpu
+
+    # -- travel ------------------------------------------------------------
+
+    def travel_to(self, target: int) -> None:
+        """Move the debuggee to instruction index *target* (within the
+        recorded window) by keyframe restore + verified re-execution."""
+        recorder = self.recorder
+        target = max(recorder.start_index,
+                     min(target, recorder.end_index))
+        now = self.cpu.instructions
+        if target == now:
+            return
+        if target > now and recorder.mode == "replay":
+            # forward travel inside recorded time: no restore needed
+            self._replay_forward(target)
+            return
+        keyframe = recorder.nearest_keyframe(target)
+        if keyframe is None:
+            raise ReplayError(
+                "no keyframe at or before index %d (capture faults: %d)"
+                % (target, len(recorder.capture_faults)), target=target)
+        if any(keyframe.index < change <= target
+               for change in recorder.monitor_changes):
+            # the only keyframe available predates a monitor-set change
+            # (its capture must have faulted); re-execution across the
+            # change cannot reproduce the recording
+            raise ReplayError(
+                "cannot replay across a monitor-set change "
+                "(keyframe at %d, target %d)" % (keyframe.index, target),
+                keyframe=keyframe.index, target=target)
+        recorder.restore_keyframe(keyframe)
+        self._replay_forward(target)
+        if any(target < change <= recorder.end_index
+               for change in recorder.monitor_changes):
+            # the future beyond target assumed a different monitor set;
+            # it cannot be verified from here, so fork the timeline
+            recorder.truncate_future(target)
+
+    def _replay_forward(self, target: int) -> None:
+        debugger = self.debugger
+        cpu = self.cpu
+        recorder = self.recorder
+        while cpu.instructions < target:
+            boundary = target
+            for keyframe in recorder.keyframes:
+                if cpu.instructions < keyframe.index < target:
+                    boundary = keyframe.index
+                    break
+            reason = debugger._step_raw(boundary - cpu.instructions)
+            if cpu.instructions == boundary and boundary < target:
+                for keyframe in recorder.keyframes:
+                    if keyframe.index == boundary:
+                        recorder.check_keyframe_digest(keyframe)
+                        break
+            if reason == "exited" and cpu.instructions < target:
+                raise DivergenceError(
+                    "program exited early during replay",
+                    index=cpu.instructions, target=target,
+                    observed_pc=cpu.pc)
+            # stop-action watchpoints fire during replay too; they are
+            # overridden until the target is reached (the next _step_raw
+            # resumes the stopped CPU)
+        for keyframe in recorder.keyframes:
+            if keyframe.index == target:
+                recorder.check_keyframe_digest(keyframe)
+                break
+
+    # -- reverse execution --------------------------------------------------
+
+    def reverse_step(self, count: int = 1) -> str:
+        """Step *count* instructions backwards; returns the stop reason
+        ("step", or "replay-start" when clamped at the recording's
+        start)."""
+        recorder = self.recorder
+        target = self.cpu.instructions - max(1, count)
+        clamped = target < recorder.start_index
+        self.travel_to(target)
+        self.debugger.stop_reason = ("replay-start" if clamped
+                                     else "step")
+        self.debugger.stopped_watch = None
+        return self.debugger.stop_reason
+
+    def reverse_continue(self) -> str:
+        """Run backwards to the most recent write to any currently
+        watched region; returns "watch" (stopped at that write) or
+        "replay-start" (no earlier write in the recording)."""
+        debugger = self.debugger
+        recorder = self.recorder
+        now = self.cpu.instructions
+        hit: Optional[WriteRecord] = None
+        for record in reversed(list(recorder.trace)):
+            if record.is_read or record.stop_index >= now:
+                continue
+            if self._watch_for(record) is not None:
+                hit = record
+                break
+        if hit is None:
+            self.travel_to(recorder.start_index)
+            debugger.stop_reason = "replay-start"
+            debugger.stopped_watch = None
+            return "replay-start"
+        self.travel_to(hit.stop_index)
+        debugger.stop_reason = "watch"
+        debugger.stopped_watch = self._watch_for(hit)
+        return "watch"
+
+    def _watch_for(self, record: WriteRecord):
+        for watchpoint in reversed(self.debugger.watchpoints):
+            if not watchpoint.enabled:
+                continue
+            region = watchpoint.region
+            if record.addr < region.end and \
+                    region.start < record.addr + record.size:
+                return watchpoint
+        return None
+
+    # -- last-write queries --------------------------------------------------
+
+    def last_write_to(self, start: int, size: int,
+                      expression: Optional[str] = None,
+                      func: Optional[str] = None
+                      ) -> Optional[LastWrite]:
+        """Most recent write to ``[start, start+size)`` at or before
+        the current point in time, or None if it was never written.
+
+        *expression* (a watchable name resolving to the region) enables
+        the re-execution scan when the region was not monitored for the
+        whole recording; without it, an unmonitored region raises
+        :class:`ReplayError` rather than answering incompletely.
+        """
+        recorder = self.recorder
+        now = self.cpu.instructions
+        record = recorder.trace.last_write_to(start, size,
+                                              before_index=now)
+        covered = recorder.covered_since(start, size)
+        if record is not None and covered is not None \
+                and covered <= record.index:
+            return LastWrite(record.pc, record.index, record.old,
+                             record.new, record.addr, record.size,
+                             "trace")
+        if record is None and covered is not None \
+                and covered <= recorder.start_index \
+                and recorder.trace.dropped == 0:
+            return None  # provably never written while recorded
+        if expression is None:
+            raise ReplayError(
+                "region 0x%x+%d was not monitored for the whole "
+                "recording; pass the symbol name so a re-execution "
+                "scan can arm it" % (start, size),
+                start=start, size=size)
+        return self._scan_last_write(start, size, expression, func)
+
+    def _scan_last_write(self, start: int, size: int, expression: str,
+                         func: Optional[str]) -> Optional[LastWrite]:
+        debugger = self.debugger
+        cpu = self.cpu
+        recorder = self.recorder
+        if not recorder.keyframes:
+            raise ReplayError("no keyframes to scan from",
+                              capture_faults=len(recorder.capture_faults))
+        origin = recorder.keyframes[0]
+        counts = cpu.tag_counts
+        target_progress = counts.get("orig", 0) + counts.get("lib", 0)
+        # save the present (including recorder state the scan perturbs)
+        saved = debugger.checkpoint()
+        saved_shadow = dict(recorder._shadow)
+        saved_mode, saved_cursor = recorder.mode, recorder._cursor
+        saved_stop = (debugger.stop_reason, debugger.stopped_watch)
+        hits: List[WriteRecord] = []
+        recorder._in_hook = True
+        try:
+            recorder.restore_keyframe(origin, mode="scan")
+            # the scanned words were not in the keyframe's shadow (they
+            # were unmonitored at record time); at the origin, memory
+            # still holds their pre-write values — seed old-value capture
+            for word in range(start & ~3, (start + size + 3) & ~3, 4):
+                recorder._shadow.setdefault(word,
+                                            cpu.mem.read_word(word))
+            recorder._scan_hits = hits
+            temp = debugger.watch(expression, func=func, action="log")
+            exited = False
+            while not exited:
+                progress = (cpu.tag_counts.get("orig", 0)
+                            + cpu.tag_counts.get("lib", 0))
+                # an orig/lib instruction advances progress by exactly
+                # one, so a chunk of `remaining` instructions can reach
+                # but never overshoot the target progress
+                remaining = target_progress - progress
+                if remaining <= 0:
+                    break
+                exited = debugger._step_raw(remaining) == "exited"
+            # the final landed store's check sequence (and its
+            # notification trap) may still be pending: drain inserted
+            # instructions up to — not including — the next original one
+            for _ in range(256):
+                if exited:
+                    break
+                insn = cpu.code.at(cpu.pc)
+                if insn is None or insn.tag in ("orig", "lib"):
+                    break
+                exited = debugger._step_raw(1) == "exited"
+            temp.delete()
+        finally:
+            recorder._scan_hits = None
+            recorder._in_hook = False
+            debugger.restore(saved, discard_recording=False)
+            recorder._shadow = saved_shadow
+            recorder.mode, recorder._cursor = saved_mode, saved_cursor
+            debugger.stop_reason, debugger.stopped_watch = saved_stop
+        last: Optional[WriteRecord] = None
+        for record in hits:
+            if not record.is_read and record.overlaps(start, size):
+                last = record
+        if last is None:
+            return None
+        return LastWrite(last.pc, last.index, last.old, last.new,
+                         last.addr, last.size, "scan")
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        stats = self.recorder.stats()
+        stats["now"] = self.cpu.instructions
+        return stats

@@ -1,0 +1,178 @@
+"""Write-trace: the compact log the time-travel engine replays against.
+
+Every §2 monitor notification observed while recording becomes one
+:class:`WriteRecord` — ``(index, pc, addr, size, old, new, is_read)``
+— appended to a bounded :class:`WriteTrace` ring.  ``index`` is the
+debuggee instruction count at the notification trap and ``pc`` the
+trap's address, so a record names an exact point in deterministic
+execution time; ``old`` comes from the recorder's shadow copy of the
+monitored words (write checks run *after* the store lands, §2.1, so
+the overwritten value cannot be read back at notification time).
+
+The trace serialises to a canonical byte string (:meth:`to_bytes`)
+with a CRC-32 digest, which is what the determinism property tests
+compare: recording the same program twice must be byte-identical.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, NamedTuple, Optional
+
+_RECORD = struct.Struct(">QIIIIIB")
+_HEADER = struct.Struct(">4sHQQ")
+_MAGIC = b"RPWT"
+_VERSION = 1
+
+
+class WriteRecord(NamedTuple):
+    """One monitor notification at a point in execution time."""
+
+    index: int      #: cpu.instructions at the notification trap
+    pc: int         #: address of the notification trap
+    addr: int       #: written (or read) address
+    size: int       #: access width in bytes
+    old: int        #: word value before the access (shadow copy)
+    new: int        #: word value after the access
+    is_read: bool
+
+    @property
+    def stop_index(self) -> int:
+        """Instruction count once the notification trap completes —
+        the execution-time position "stopped at this hit"."""
+        return self.index + 1
+
+    def overlaps(self, start: int, size: int) -> bool:
+        return self.addr < start + size and start < self.addr + self.size
+
+    def pack(self) -> bytes:
+        return _RECORD.pack(self.index, self.pc, self.addr, self.size,
+                            self.old & 0xFFFFFFFF, self.new & 0xFFFFFFFF,
+                            1 if self.is_read else 0)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "WriteRecord":
+        index, pc, addr, size, old, new, is_read = _RECORD.unpack(data)
+        return cls(index, pc, addr, size, old, new, bool(is_read))
+
+
+class WriteTrace:
+    """Bounded, append-only ring of :class:`WriteRecord`.
+
+    Records carry stable absolute positions: position ``p`` is valid
+    while ``base <= p < total``.  When the ring overflows, the oldest
+    records are dropped (``base`` advances, :attr:`dropped` counts
+    them) — replay verification then simply cannot check the dropped
+    prefix, and ``last_write_to`` falls back to a re-execution scan.
+    """
+
+    def __init__(self, max_records: int = 65536):
+        if max_records < 1:
+            raise ValueError("max_records must be positive")
+        self.max_records = max_records
+        self._records: List[WriteRecord] = []
+        #: absolute position of _records[0]
+        self.base = 0
+
+    @property
+    def total(self) -> int:
+        """Absolute position one past the newest record."""
+        return self.base + len(self._records)
+
+    @property
+    def dropped(self) -> int:
+        return self.base
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[WriteRecord]:
+        return iter(self._records)
+
+    def append(self, record: WriteRecord) -> int:
+        """Append *record*, evicting the oldest on overflow; returns
+        the record's absolute position."""
+        self._records.append(record)
+        if len(self._records) > self.max_records:
+            evict = len(self._records) - self.max_records
+            del self._records[:evict]
+            self.base += evict
+        return self.total - 1
+
+    def at(self, position: int) -> Optional[WriteRecord]:
+        """The record at absolute *position*, or None if dropped/unset."""
+        if position < self.base or position >= self.total:
+            return None
+        return self._records[position - self.base]
+
+    def replace(self, position: int, record: WriteRecord) -> None:
+        """Overwrite the record at absolute *position* (test tampering
+        and trace-repair only)."""
+        if position < self.base or position >= self.total:
+            raise IndexError("position %d outside [%d, %d)"
+                             % (position, self.base, self.total))
+        self._records[position - self.base] = record
+
+    def truncate(self, position: int) -> None:
+        """Drop every record at absolute positions >= *position* — the
+        future is discarded when a rewound execution takes a new path."""
+        keep = max(0, position - self.base)
+        del self._records[keep:]
+
+    # -- queries -----------------------------------------------------------
+
+    def records_for(self, start: int, size: int,
+                    writes_only: bool = True) -> List[WriteRecord]:
+        return [record for record in self._records
+                if record.overlaps(start, size)
+                and not (writes_only and record.is_read)]
+
+    def last_write_to(self, start: int, size: int,
+                      before_index: Optional[int] = None
+                      ) -> Optional[WriteRecord]:
+        """Most recent write overlapping ``[start, start+size)`` whose
+        stop position is at or before *before_index* (when given)."""
+        for record in reversed(self._records):
+            if record.is_read or not record.overlaps(start, size):
+                continue
+            if before_index is not None and \
+                    record.stop_index > before_index:
+                continue
+            return record
+        return None
+
+    # -- canonical serialisation -------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialisation: header + packed records, in order."""
+        parts = [_HEADER.pack(_MAGIC, _VERSION, self.base,
+                              len(self._records))]
+        parts.extend(record.pack() for record in self._records)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes,
+                   max_records: Optional[int] = None) -> "WriteTrace":
+        magic, version, base, count = _HEADER.unpack_from(data, 0)
+        if magic != _MAGIC or version != _VERSION:
+            raise ValueError("not a v%d write trace" % _VERSION)
+        trace = cls(max_records=max_records
+                    if max_records is not None else max(count, 1))
+        trace.base = base
+        offset = _HEADER.size
+        for _ in range(count):
+            trace._records.append(WriteRecord.unpack(
+                data[offset:offset + _RECORD.size]))
+            offset += _RECORD.size
+        return trace
+
+    def digest(self) -> int:
+        """CRC-32 of the canonical serialisation."""
+        import zlib
+        return zlib.crc32(self.to_bytes()) & 0xFFFFFFFF
+
+    def __repr__(self) -> str:
+        return ("<WriteTrace %d records (%d dropped), indexes %s..%s>"
+                % (len(self._records), self.base,
+                   self._records[0].index if self._records else "-",
+                   self._records[-1].index if self._records else "-"))

@@ -209,6 +209,22 @@ class DebugClient:
         return self.request("step", {"sessionId": session_id,
                                      "count": count})
 
+    def step_back(self, session_id: str,
+                  count: int = 1) -> Dict[str, Any]:
+        return self.request("stepBack", {"sessionId": session_id,
+                                         "count": count})
+
+    def reverse_continue(self, session_id: str) -> Dict[str, Any]:
+        return self.request("reverseContinue",
+                            {"sessionId": session_id})
+
+    def last_write(self, session_id: str, expression: str,
+                   func: Optional[str] = None) -> Dict[str, Any]:
+        arguments = {"sessionId": session_id, "expression": expression}
+        if func is not None:
+            arguments["func"] = func
+        return self.request("lastWrite", arguments)
+
     def evaluate(self, session_id: str, expression: str,
                  func: Optional[str] = None) -> Dict[str, Any]:
         arguments = {"sessionId": session_id, "expression": expression}

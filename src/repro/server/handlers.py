@@ -22,6 +22,11 @@ Commands
     Run the debuggee under the per-request execution quota
     (PR 1's watchdog budgets re-used as a server resource limit);
     quota exhaustion is a resumable ``stopped`` reason, not an error.
+``stepBack`` / ``reverseContinue`` / ``lastWrite``
+    Time travel (protocol v2, ``supportsStepBack``): sessions launched
+    with ``record`` replay backwards through recorded history; a
+    session launched without recording gets a structured
+    ``reason="not_recording"`` error instead.
 ``evaluate``
     Read a watchable expression at the current stop.
 ``disconnect``
@@ -73,8 +78,9 @@ class ServerConfig:
         self.max_frame_bytes = (MAX_FRAME_BYTES if max_frame_bytes is None
                                 else max_frame_bytes)
 
-    def capabilities(self) -> Dict[str, Any]:
-        return {
+    def capabilities(self,
+                     version: int = PROTOCOL_VERSION) -> Dict[str, Any]:
+        caps = {
             "supportsDataBreakpoints": True,
             "supportsConditionalDataBreakpoints": True,
             "supportsReadMonitoring": True,
@@ -85,6 +91,11 @@ class ServerConfig:
             "maxFrameBytes": self.max_frame_bytes,
             "maxSessions": self.max_sessions,
         }
+        if version >= 2:
+            # time travel shipped in protocol v2; a v1 client never
+            # sees the capability, so it never sends reverse requests
+            caps["supportsStepBack"] = True
+        return caps
 
 
 def fault_plan_from_spec(spec: Dict[str, Any]) -> FaultPlan:
@@ -159,6 +170,9 @@ class RequestRouter:
             "setDataBreakpoints": self._set_data_breakpoints,
             "continue": self._continue,
             "step": self._step,
+            "stepBack": self._step_back,
+            "reverseContinue": self._reverse_continue,
+            "lastWrite": self._last_write,
             "evaluate": self._evaluate,
             "threads": self._threads,
             "disconnect": self._disconnect,
@@ -200,7 +214,7 @@ class RequestRouter:
                 requested=version, supported=list(SUPPORTED_VERSIONS))
         return {"protocolVersion": version,
                 "server": "repro-debug-server",
-                "capabilities": self.config.capabilities()}
+                "capabilities": self.config.capabilities(version)}
 
     def _launch(self, arguments: Dict[str, Any], emit) -> Dict[str, Any]:
         source = _require_arg(arguments, "source")
@@ -209,6 +223,7 @@ class RequestRouter:
         optimize = arguments.get("optimize", "full")
         monitor_reads = bool(arguments.get("monitorReads", False))
         faults_spec = arguments.get("faults")
+        record_spec = arguments.get("record", False)
 
         def factory() -> Debugger:
             if faults_spec:
@@ -233,8 +248,15 @@ class RequestRouter:
         managed = self.manager.create(factory)
         managed.emitters.append(emit)
         self._wire_monitor_stream(managed)
+        if record_spec:
+            options = record_spec if isinstance(record_spec, dict) else {}
+            managed.debugger.record(
+                stride=options.get("stride"),
+                max_keyframes=options.get("maxKeyframes"),
+                max_trace=options.get("maxTrace"))
         return {"sessionId": managed.id,
                 "strategy": strategy,
+                "recording": managed.debugger.recording,
                 "quota": self.config.quota_instructions}
 
     def _wire_monitor_stream(self, managed: ManagedSession) -> None:
@@ -380,8 +402,10 @@ class RequestRouter:
 
     def _finish(self, managed: ManagedSession, before: int,
                 body: Dict[str, Any]) -> Dict[str, Any]:
+        # reverse travel lands at a lower instruction index than it
+        # started from; it consumes quota, never refunds it
         managed.instructions_spent += \
-            managed.debugger.cpu.instructions - before
+            max(0, managed.debugger.cpu.instructions - before)
         body["instructionsSpent"] = managed.instructions_spent
         self._flush_output(managed)
         managed.emit("stopped", {"reason": body["reason"],
@@ -404,6 +428,47 @@ class RequestRouter:
         count = max(1, min(count, self.config.quota_instructions))
         return self._execute(
             session_id, lambda managed: managed.debugger.step(count))
+
+    def _step_back(self, arguments: Dict[str, Any], emit) -> Dict[str, Any]:
+        """Reverse-step *count* instructions (keyframe restore +
+        verified re-execution; replayed hits stream as ``monitorHit``
+        events just like forward execution did)."""
+        session_id = _require_arg(arguments, "sessionId")
+        count = int(arguments.get("count", 1))
+        count = max(1, min(count, self.config.quota_instructions))
+        return self._execute(
+            session_id,
+            lambda managed: managed.debugger.reverse_step(count))
+
+    def _reverse_continue(self, arguments: Dict[str, Any], emit
+                          ) -> Dict[str, Any]:
+        """Run backwards to the most recent write to a watched region."""
+        session_id = _require_arg(arguments, "sessionId")
+        return self._execute(
+            session_id,
+            lambda managed: managed.debugger.reverse_continue())
+
+    def _last_write(self, arguments: Dict[str, Any], emit
+                    ) -> Dict[str, Any]:
+        """Who last wrote *expression*?  May re-execute (the scan
+        path), so it runs on the bounded execution pool."""
+        session_id = _require_arg(arguments, "sessionId")
+        expression = _require_arg(arguments, "expression")
+        func = arguments.get("func")
+
+        def fn(managed: ManagedSession) -> Dict[str, Any]:
+            answer = managed.debugger.last_write(expression, func)
+            body: Dict[str, Any] = {"expression": expression,
+                                    "found": answer is not None}
+            if answer is not None:
+                body.update({"pc": answer.pc, "instruction": answer.index,
+                             "oldValue": to_signed(answer.old),
+                             "newValue": to_signed(answer.new),
+                             "address": answer.addr, "size": answer.size,
+                             "source": answer.source})
+            return body
+
+        return self.manager.execute(session_id, fn)
 
     def _evaluate(self, arguments: Dict[str, Any], emit) -> Dict[str, Any]:
         session_id = _require_arg(arguments, "sessionId")

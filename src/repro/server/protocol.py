@@ -44,10 +44,12 @@ from typing import Any, Dict, Optional, Union
 
 from repro.errors import ProtocolError, ReproError
 
-#: current protocol version, sent by servers in ``initialize`` responses
-PROTOCOL_VERSION = 1
+#: current protocol version, sent by servers in ``initialize``
+#: responses (v2 added time travel: ``supportsStepBack`` plus the
+#: ``stepBack`` / ``reverseContinue`` / ``lastWrite`` requests)
+PROTOCOL_VERSION = 2
 #: versions this implementation can serve
-SUPPORTED_VERSIONS = (1,)
+SUPPORTED_VERSIONS = (1, 2)
 #: default cap on one frame's JSON body (bytes)
 MAX_FRAME_BYTES = 1 << 20
 

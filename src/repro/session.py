@@ -36,6 +36,25 @@ class DebugSession:
         #: True once run() has been called at least once
         self.started = False
         self._entry_state = None
+        #: callables invoked after an entry-checkpoint rewind, so
+        #: host-side observers (debugger hit lists, recorders) can reset
+        #: statistics the machine checkpoint cannot see
+        self._rewind_hooks: List = []
+
+    def add_rewind_hook(self, hook) -> None:
+        """Register *hook* to run after every entry-checkpoint rewind."""
+        self._rewind_hooks.append(hook)
+
+    def mark_started(self) -> None:
+        """Record the entry state so a later fresh :meth:`run` can
+        rewind — also used by hosts (the debugger) that drive the CPU
+        directly instead of through :meth:`run`."""
+        if self._entry_state is None:
+            from repro.machine.checkpoint import Checkpoint
+            self._entry_state = Checkpoint(self.cpu,
+                                           output=self.loaded.output,
+                                           mrs=self.mrs)
+        self.started = True
 
     @classmethod
     def from_asm(cls, asm_source: str, strategy="Bitmap",
@@ -83,17 +102,15 @@ class DebugSession:
         if resume and not self.started:
             resume = False
         if not resume:
-            if self._entry_state is None:
-                from repro.machine.checkpoint import Checkpoint
-                self._entry_state = Checkpoint(self.cpu,
-                                               output=self.loaded.output,
-                                               mrs=self.mrs)
-            elif self.started:
+            if self._entry_state is not None and self.started:
                 self._entry_state.restore(self.cpu,
                                           output=self.loaded.output,
                                           mrs=self.mrs)
                 self.cpu.running = False
                 self.cpu.exit_code = None
+                for hook in self._rewind_hooks:
+                    hook()
+            self.mark_started()
         self.started = True
         return self.loaded.run(max_instructions=max_instructions,
                                watchdog=watchdog, resume=resume)

@@ -3,8 +3,9 @@
 Covers the ISSUE acceptance flow (two concurrent sessions, launch ->
 setDataBreakpoints -> continue -> monitorHit -> disconnect), quota
 degradation, fault-injected sessions, capacity limits, idle eviction,
-malformed/oversized frame handling, draining shutdown, and the
-thread-safety of a shared MonitoredRegionService.
+malformed/oversized frame handling, draining shutdown, time travel
+(protocol v2: record -> reverseContinue / stepBack / lastWrite), and
+the thread-safety of a shared MonitoredRegionService.
 """
 
 import socket
@@ -312,7 +313,101 @@ class TestWireRobustness:
             from repro.server.protocol import Event
             client._sock.sendall(encode(Event(seq=99, event="rogue")))
             # a direction violation is answered, not fatal
-            assert client.initialize()["protocolVersion"] == 1
+            assert client.initialize()["protocolVersion"] == 2
+
+
+class TestTimeTravel:
+    """ISSUE acceptance: time travel end to end over the socket."""
+
+    def test_capability_negotiation_gates_step_back(self, server):
+        with client_for(server) as client:
+            negotiated = client.initialize()
+            assert negotiated["protocolVersion"] == 2
+            assert negotiated["capabilities"]["supportsStepBack"] is True
+            # a v1 client must never be offered time travel
+            legacy = client.initialize(version=1)
+            assert legacy["protocolVersion"] == 1
+            assert "supportsStepBack" not in legacy["capabilities"]
+
+    def test_reverse_continue_and_last_write_over_socket(self, server):
+        with client_for(server) as client:
+            client.initialize()
+            session_id = client.launch(SOURCE, record={"stride": 200})
+            info = client.data_breakpoint_info(session_id, "total")
+            client.set_data_breakpoints(
+                session_id, [{"dataId": info["dataId"], "stop": False}])
+            stop = run_to_exit(client, session_id)
+            final = stop["instructions"]
+            forward_hits = client.pop_events("monitorHit")
+            assert forward_hits
+
+            # reverse-continue stops at the most recent recorded write
+            stop = client.reverse_continue(session_id)
+            assert stop["reason"] == "watch"
+            assert stop["symbol"] == "total"
+            assert stop["value"] == 190
+            assert stop["instructions"] < final
+            assert stop["exited"] is False
+            first_stop = stop["instructions"]
+
+            # ... and keeps walking backwards through earlier writes
+            stop = client.reverse_continue(session_id)
+            assert stop["reason"] == "watch"
+            assert stop["instructions"] < first_stop
+            assert stop["value"] < 190
+
+            # the replayed window streamed monitorHit events again
+            replayed = client.pop_events("monitorHit")
+            assert replayed
+            assert all(hit["sessionId"] == session_id
+                       for hit in replayed)
+
+            # lastWrite answers (pc, instruction, old/new) from here
+            body = client.last_write(session_id, "total")
+            assert body["found"] is True
+            assert body["address"] == info["address"]
+            assert body["pc"] >= TEXT_BASE
+            assert body["instruction"] < stop["instructions"]
+            assert body["newValue"] == stop["value"]
+            assert body["source"] == "trace"
+
+            # stepBack lands exactly count instructions earlier
+            here = stop["instructions"]
+            stop = client.step_back(session_id, count=7)
+            assert stop["reason"] == "step"
+            assert stop["instructions"] == here - 7
+
+            # forward execution from the travelled point still works
+            stop = run_to_exit(client, session_id)
+            assert stop["exitCode"] == 0
+            assert stop["instructions"] == final
+            client.disconnect(session_id)
+
+    def test_reverse_requests_need_a_recording(self, server):
+        with client_for(server) as client:
+            client.initialize()
+            session_id = client.launch(SOURCE)  # no record option
+            for call in (lambda: client.reverse_continue(session_id),
+                         lambda: client.step_back(session_id),
+                         lambda: client.last_write(session_id, "total")):
+                with pytest.raises(RemoteError) as excinfo:
+                    call()
+                assert excinfo.value.remote_error == "ReplayError"
+                assert excinfo.value.context["reason"] == "not_recording"
+            # the session itself is unharmed
+            assert run_to_exit(client, session_id)["exitCode"] == 0
+
+    def test_reverse_continue_at_start_reports_replay_start(self, server):
+        with client_for(server) as client:
+            client.initialize()
+            session_id = client.launch(SOURCE, record=True)
+            launch_info = client.data_breakpoint_info(session_id, "total")
+            client.set_data_breakpoints(
+                session_id, [{"dataId": launch_info["dataId"],
+                              "stop": False}])
+            stop = client.reverse_continue(session_id)
+            assert stop["reason"] == "replay-start"
+            assert stop["instructions"] == 0
 
 
 class TestReRunnableSession:
