@@ -7,7 +7,9 @@ concurrent client connections (one session each), and hammers
 PreMonitor + CreateMonitoredRegion transaction per call — measuring
 requests/sec and per-request latency percentiles.  A short
 ``continue`` phase is measured too, since that is the quota-bounded
-execution path.
+execution path.  A hibernate/thaw phase freezes each session to disk
+and resumes it, measuring freeze and thaw latency percentiles plus the
+frozen-file size — the cost model behind idle-session eviction.
 
 Usage::
 
@@ -20,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 import threading
 import time
 
@@ -142,6 +145,79 @@ def bench_continue(sessions, quota):
                 "continues_per_sec": round(total / elapsed, 1)}
 
 
+def bench_hibernate_thaw(sessions, cycles):
+    """Each session is frozen to disk and thawed *cycles* times;
+    reports per-operation latency percentiles and frozen-file size."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-hib-") as hdir:
+        config = ServerConfig(max_sessions=sessions + 2,
+                              workers=sessions, hibernate_dir=hdir)
+        with DebugServer(config=config).start() as server:
+            freeze_lat: list = []
+            thaw_lat: list = []
+            sizes: list = []
+            errors: list = []
+            lock = threading.Lock()
+
+            def runner():
+                try:
+                    with DebugClient(port=server.port,
+                                     timeout=60) as client:
+                        client.initialize()
+                        session_id = client.launch(SOURCE)
+                        info = client.data_breakpoint_info(session_id,
+                                                           "total")
+                        client.set_data_breakpoints(
+                            session_id,
+                            [{"dataId": info["dataId"], "stop": False}])
+                        client.cont(session_id, quota=200)
+                        for _ in range(cycles):
+                            begin = time.perf_counter()
+                            body = client.hibernate(session_id)
+                            froze = time.perf_counter()
+                            client.resume(session_id)
+                            thawed = time.perf_counter()
+                            with lock:
+                                freeze_lat.append(froze - begin)
+                                thaw_lat.append(thawed - froze)
+                                if body.get("frozenBytes"):
+                                    sizes.append(body["frozenBytes"])
+                        client.disconnect(session_id)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(repr(exc))
+
+            threads = [threading.Thread(target=runner)
+                       for _ in range(sessions)]
+            begin = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - begin
+            if errors:
+                raise SystemExit("bench workers failed: %s" % errors[:3])
+            total = sessions * cycles
+            return {
+                "sessions": sessions,
+                "cycles_per_session": cycles,
+                "total_cycles": total,
+                "elapsed_s": round(elapsed, 4),
+                "freeze_ms": {
+                    "p50": round(percentile(freeze_lat, 0.50) * 1e3, 3),
+                    "p95": round(percentile(freeze_lat, 0.95) * 1e3, 3),
+                    "max": round(max(freeze_lat) * 1e3, 3),
+                },
+                "thaw_ms": {
+                    "p50": round(percentile(thaw_lat, 0.50) * 1e3, 3),
+                    "p95": round(percentile(thaw_lat, 0.95) * 1e3, 3),
+                    "max": round(max(thaw_lat) * 1e3, 3),
+                },
+                "frozen_bytes_per_session": {
+                    "min": min(sizes) if sizes else 0,
+                    "max": max(sizes) if sizes else 0,
+                },
+            }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sessions", type=int, default=8)
@@ -149,6 +225,8 @@ def main() -> int:
                         help="setDataBreakpoints calls per session")
     parser.add_argument("--quota", type=int, default=500,
                         help="instructions per continue request")
+    parser.add_argument("--cycles", type=int, default=10,
+                        help="hibernate/thaw cycles per session")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (2 sessions, 5 requests)")
     parser.add_argument("-o", "--output", default=None,
@@ -156,12 +234,14 @@ def main() -> int:
     args = parser.parse_args()
     sessions = 2 if args.smoke else args.sessions
     requests = 5 if args.smoke else args.requests
+    cycles = 3 if args.smoke else args.cycles
 
     report = {
         "benchmark": "repro.server",
         "setDataBreakpoints": bench_set_data_breakpoints(sessions,
                                                          requests),
         "continue": bench_continue(sessions, args.quota),
+        "hibernateThaw": bench_hibernate_thaw(sessions, cycles),
     }
     text = json.dumps(report, indent=2)
     print(text)

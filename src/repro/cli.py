@@ -81,6 +81,13 @@ def _add_serve_parser(subparsers) -> None:
     parser.add_argument("--quota", type=int, default=None,
                         metavar="INSTRUCTIONS",
                         help="per-request execution quota")
+    parser.add_argument("--hibernate-dir", default=None, metavar="DIR",
+                        help="freeze idle sessions to DIR and resume "
+                             "them on demand (survives restarts)")
+    parser.add_argument("--liveness-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="drop connections silent this long "
+                             "(clients heartbeat with ping)")
 
 
 def _add_connect_parser(subparsers) -> None:
@@ -352,12 +359,18 @@ def _command_serve(args) -> int:
                           idle_timeout=args.idle_timeout,
                           workers=args.workers,
                           quota_instructions=args.quota
-                          if args.quota is not None else DEFAULT_QUOTA)
+                          if args.quota is not None else DEFAULT_QUOTA,
+                          hibernate_dir=args.hibernate_dir,
+                          liveness_timeout=args.liveness_timeout)
     server = DebugServer(host=args.host, port=args.port, config=config)
     print("repro debug server listening on %s:%d "
           "(max %d sessions, %d workers, quota %d insns/request)"
           % (server.address[0], server.address[1], config.max_sessions,
-             config.workers, config.quota_instructions))
+             config.workers, config.quota_instructions), flush=True)
+    if config.hibernate_dir is not None:
+        print("hibernation: %s (%d frozen session%s adopted)"
+              % (config.hibernate_dir, len(server.adopted),
+                 "" if len(server.adopted) == 1 else "s"), flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -114,8 +114,37 @@ class ServerError(ReproError):
 
     Covers session-level failures that are not MRS transactions:
     unknown session ids, session-capacity exhaustion, draining servers
-    rejecting new work, and unsupported protocol versions.
+    rejecting new work, and unsupported protocol versions.  Retryable
+    failures (``capacity``, ``draining``, ``initializing``) carry a
+    ``retryAfter`` context hint — seconds the client should back off
+    before retrying — so overload degrades gracefully.
     """
+
+    @property
+    def retry_after(self):
+        return self.context.get("retryAfter")
+
+
+class HibernationError(ReproError):
+    """A frozen-session file could not be written, read or trusted.
+
+    Raised by :mod:`repro.server.hibernate` when a checkpoint write
+    fails mid-stream (the previous intact frozen file is left in
+    place), and on load when a file is torn, truncated, carries a bad
+    magic/version, or fails its digest check — in which case the file
+    is quarantined, never trusted.  :attr:`context` carries ``reason``
+    (``"write_failed"``, ``"torn"``, ``"digest"``, ``"format"``,
+    ``"io"``), the ``session`` id and, for quarantined files, the
+    ``quarantined`` path.
+    """
+
+    @property
+    def reason(self):
+        return self.context.get("reason")
+
+    @property
+    def quarantined(self):
+        return self.context.get("quarantined")
 
 
 class ReplayError(ReproError):

@@ -51,10 +51,18 @@ SERVICE_POST_MONITOR = "service.post_monitor"
 MEMORY_WRITE = "memory.write"
 #: keyframe capture in the record/replay engine (replay.recorder)
 REPLAY_KEYFRAME = "replay.keyframe"
+#: frozen-session write, fired mid-stream so a fault simulates a crash
+#: with a torn temp file on disk (server.hibernate)
+HIBERNATE_WRITE = "hibernate.write"
+#: frozen-session read/parse (server.hibernate)
+HIBERNATE_LOAD = "hibernate.load"
+#: client-side request transmission (server.client)
+CLIENT_SEND = "client.send"
 
 FAULT_POINTS = (BITMAP_ALLOC, BITMAP_PUBLISH, PATCH_INSTALL, PATCH_REMOVE,
                 SERVICE_CREATE, SERVICE_DELETE, SERVICE_PRE_MONITOR,
-                SERVICE_POST_MONITOR, MEMORY_WRITE, REPLAY_KEYFRAME)
+                SERVICE_POST_MONITOR, MEMORY_WRITE, REPLAY_KEYFRAME,
+                HIBERNATE_WRITE, HIBERNATE_LOAD, CLIENT_SEND)
 
 
 class FaultPlan:

@@ -17,12 +17,18 @@ the way modern stacks expose it through the Debug Adapter Protocol's
   ``step``, ``evaluate``, ``disconnect``) and the streamed events
   (``monitorHit``, ``stopped``, ``output``, ``sessionEvicted``);
 * :mod:`repro.server.server` — the TCP transport;
-* :mod:`repro.server.client` — the blocking client library used by
-  the tests, the bench harness and ``repro connect``.
+* :mod:`repro.server.hibernate` — crash-safe frozen-session store:
+  idle sessions freeze to disk (atomic, fsync'd, digest-verified) and
+  thaw on demand — including after a full server crash/restart;
+* :mod:`repro.server.client` — the resilient blocking client library
+  (timeouts, backoff + retry budget, reconnect-and-resume, heartbeat)
+  used by the tests, the bench harness and ``repro connect``.
 """
 
-from repro.server.client import ClientClosed, DebugClient, RemoteError
+from repro.server.client import (ClientClosed, DebugClient, RemoteError,
+                                 RequestTimeout)
 from repro.server.handlers import RequestRouter, ServerConfig
+from repro.server.hibernate import FrozenSession, HibernationStore
 from repro.server.manager import ManagedSession, SessionManager
 from repro.server.protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION,
                                    SUPPORTED_VERSIONS, Event, Request,
@@ -30,7 +36,8 @@ from repro.server.protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION,
 from repro.server.server import DebugServer
 
 __all__ = ["DebugServer", "DebugClient", "RemoteError", "ClientClosed",
-           "ServerConfig", "RequestRouter", "SessionManager",
-           "ManagedSession", "Request", "Response", "Event",
+           "RequestTimeout", "ServerConfig", "RequestRouter",
+           "SessionManager", "ManagedSession", "HibernationStore",
+           "FrozenSession", "Request", "Response", "Event",
            "PROTOCOL_VERSION", "SUPPORTED_VERSIONS", "MAX_FRAME_BYTES",
            "error_payload"]

@@ -29,18 +29,26 @@ Commands
     ``reason="not_recording"`` error instead.
 ``evaluate``
     Read a watchable expression at the current stop.
+``resume`` / ``hibernate`` / ``ping``
+    Fault tolerance (protocol v3, ``supportsHibernation``): ``resume``
+    re-attaches a client to a session by id — transparently thawing it
+    from the hibernation store if a previous server process froze it —
+    ``hibernate`` freezes a session to disk on demand, and ``ping`` is
+    the client heartbeat the server's liveness timeout watches for.
 ``disconnect``
-    Tear the session down.
+    Tear the session down (and discard its frozen file, if any).
 
 Events streamed while a session runs: ``output`` (new debuggee
 output), ``monitorHit`` (every §2 notification, with the resolved
-symbol and pc), ``stopped`` (run finished with a reason), and
-``sessionEvicted`` (idle eviction / shutdown, emitted by the manager).
+symbol and pc), ``stopped`` (run finished with a reason),
+``sessionEvicted`` (destruction / shutdown, emitted by the manager),
+and the hibernation pair ``sessionHibernated`` / ``sessionResumed``.
 """
 
 from __future__ import annotations
 
 import re
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.debugger.debugger import Debugger, DebuggerError
@@ -69,7 +77,10 @@ class ServerConfig:
                  idle_timeout: Optional[float] = None,
                  workers: int = 8,
                  quota_instructions: int = DEFAULT_QUOTA,
-                 max_frame_bytes: Optional[int] = None):
+                 max_frame_bytes: Optional[int] = None,
+                 hibernate_dir: Optional[str] = None,
+                 hibernate_faults=None,
+                 liveness_timeout: Optional[float] = None):
         from repro.server.protocol import MAX_FRAME_BYTES
         self.max_sessions = max_sessions
         self.idle_timeout = idle_timeout
@@ -77,6 +88,14 @@ class ServerConfig:
         self.quota_instructions = quota_instructions
         self.max_frame_bytes = (MAX_FRAME_BYTES if max_frame_bytes is None
                                 else max_frame_bytes)
+        #: directory for frozen sessions; None disables hibernation
+        self.hibernate_dir = hibernate_dir
+        #: optional FaultPlan armed on the hibernation store
+        #: (hibernate.write / hibernate.load injection points)
+        self.hibernate_faults = hibernate_faults
+        #: drop connections silent for this long (the client heartbeat
+        #: keeps a healthy-but-idle connection alive with ``ping``)
+        self.liveness_timeout = liveness_timeout
 
     def capabilities(self,
                      version: int = PROTOCOL_VERSION) -> Dict[str, Any]:
@@ -95,6 +114,13 @@ class ServerConfig:
             # time travel shipped in protocol v2; a v1 client never
             # sees the capability, so it never sends reverse requests
             caps["supportsStepBack"] = True
+        if version >= 3:
+            # fault tolerance shipped in protocol v3: resume/ping are
+            # always served; hibernation needs a configured store
+            caps["supportsHibernation"] = self.hibernate_dir is not None
+            caps["supportsResume"] = True
+            caps["supportsPing"] = True
+            caps["supportsRetryAfter"] = True
         return caps
 
 
@@ -163,6 +189,9 @@ class RequestRouter:
     def __init__(self, manager: SessionManager, config: ServerConfig):
         self.manager = manager
         self.config = config
+        # a thawed session needs its monitorHit stream re-wired before
+        # it serves its first request (emitters resubscribe via resume)
+        manager.on_thaw = self._wire_monitor_stream
         self._handlers: Dict[str, Callable] = {
             "initialize": self._initialize,
             "launch": self._launch,
@@ -175,6 +204,9 @@ class RequestRouter:
             "lastWrite": self._last_write,
             "evaluate": self._evaluate,
             "threads": self._threads,
+            "resume": self._resume,
+            "hibernate": self._hibernate,
+            "ping": self._ping,
             "disconnect": self._disconnect,
         }
 
@@ -246,7 +278,15 @@ class RequestRouter:
                 monitor_reads=monitor_reads)
 
         managed = self.manager.create(factory)
-        managed.emitters.append(emit)
+        managed.subscribe(emit)
+        # the identity hibernation rebuilds the debuggee from; kept
+        # even for fault-plan sessions so freeze can refuse them with
+        # a reason instead of guessing
+        managed.program_spec = {
+            "source": source, "lang": lang, "strategy": strategy,
+            "optimize": optimize if optimize != "none" else None,
+            "monitorReads": monitor_reads,
+            "faults": bool(faults_spec)}
         self._wire_monitor_stream(managed)
         if record_spec:
             options = record_spec if isinstance(record_spec, dict) else {}
@@ -322,6 +362,7 @@ class RequestRouter:
             for watchpoint in list(managed.breakpoints.values()):
                 debugger.unwatch(watchpoint)
             managed.breakpoints.clear()
+            managed.breakpoint_specs.clear()
             results: List[Dict[str, Any]] = []
             for spec in specs:
                 data_id = spec.get("dataId")
@@ -339,6 +380,12 @@ class RequestRouter:
                                                 action=action,
                                                 condition=condition)
                     managed.breakpoints[data_id] = watchpoint
+                    # the wire-level spec is what hibernation freezes:
+                    # conditions recompile from text on thaw
+                    managed.breakpoint_specs[data_id] = {
+                        "dataId": data_id, "name": name, "func": func,
+                        "condition": spec.get("condition"),
+                        "stop": bool(spec.get("stop", True))}
                     results.append({
                         "verified": True, "dataId": data_id,
                         "region": [watchpoint.region.start,
@@ -498,7 +545,66 @@ class RequestRouter:
                 if managed.debugger is not None else None,
                 "instructionsSpent": managed.instructions_spent,
                 "breakpoints": len(managed.breakpoints)})
-        return {"sessions": sessions}
+        return {"sessions": sessions,
+                "frozen": self.manager.frozen_ids()}
+
+    # -- fault tolerance (protocol v3) -------------------------------------
+
+    def _resume(self, arguments: Dict[str, Any], emit) -> Dict[str, Any]:
+        """Re-attach to a session by id, thawing it from disk if a
+        previous process (or an idle sweep) hibernated it.
+
+        This is the reconnect path: a client whose connection died
+        reconnects, re-initializes, and resumes each of its session
+        ids; subsequent requests continue byte-identically to a run
+        that was never interrupted.
+        """
+        session_id = _require_arg(arguments, "sessionId")
+        was_frozen = session_id in self.manager.frozen_ids()
+
+        def fn(managed: ManagedSession) -> Dict[str, Any]:
+            managed.subscribe(emit)
+            managed.emit("sessionResumed",
+                         {"reason": "thaw" if was_frozen else "reattach"})
+            debugger = managed.debugger
+            return {"sessionId": managed.id,
+                    "thawed": was_frozen,
+                    "stopReason": debugger.stop_reason,
+                    "pc": debugger.cpu.pc,
+                    "instructions": debugger.cpu.instructions,
+                    "recording": debugger.recording,
+                    "breakpoints": sorted(managed.breakpoints),
+                    "instructionsSpent": managed.instructions_spent}
+
+        return self.manager.with_session(session_id, fn)
+
+    def _hibernate(self, arguments: Dict[str, Any], emit
+                   ) -> Dict[str, Any]:
+        """Freeze a session to disk on demand (ops/test surface for
+        the same path the idle sweeper takes)."""
+        session_id = _require_arg(arguments, "sessionId")
+        if self.manager.store is None:
+            raise ServerError("server has no hibernation store",
+                              reason="no_hibernation")
+        # raises for a session that is unknown (or surfaces
+        # initializing) rather than returning a silent False
+        self.manager.get(session_id)
+        hibernated = self.manager.hibernate(session_id,
+                                            reason="request")
+        body: Dict[str, Any] = {"sessionId": session_id,
+                                "hibernated": hibernated}
+        if hibernated:
+            size = self.manager.store.frozen_size(session_id)
+            if size is not None:
+                body["frozenBytes"] = size
+        return body
+
+    def _ping(self, arguments: Dict[str, Any], emit) -> Dict[str, Any]:
+        """Client heartbeat; also a cheap liveness/inventory probe."""
+        return {"time": time.time(),
+                "sessions": self.manager.session_count(),
+                "frozen": len(self.manager.frozen_ids()),
+                "echo": arguments.get("echo")}
 
     def _disconnect(self, arguments: Dict[str, Any], emit
                     ) -> Dict[str, Any]:

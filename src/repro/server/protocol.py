@@ -46,10 +46,14 @@ from repro.errors import ProtocolError, ReproError
 
 #: current protocol version, sent by servers in ``initialize``
 #: responses (v2 added time travel: ``supportsStepBack`` plus the
-#: ``stepBack`` / ``reverseContinue`` / ``lastWrite`` requests)
-PROTOCOL_VERSION = 2
+#: ``stepBack`` / ``reverseContinue`` / ``lastWrite`` requests; v3
+#: added fault tolerance: ``supportsHibernation`` with the ``resume``
+#: / ``hibernate`` / ``ping`` requests, the ``sessionHibernated`` /
+#: ``sessionResumed`` events, and ``retryAfter`` backpressure hints
+#: on retryable errors)
+PROTOCOL_VERSION = 3
 #: versions this implementation can serve
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 #: default cap on one frame's JSON body (bytes)
 MAX_FRAME_BYTES = 1 << 20
 

@@ -25,6 +25,16 @@ Failure containment, end to end:
 When ``idle_timeout`` is configured a sweeper thread evicts sessions
 that have not been touched within the window, emitting a
 ``sessionEvicted`` event to their subscribers first.
+
+Crash safety: with ``hibernate_dir`` configured the server owns a
+:class:`~repro.server.hibernate.HibernationStore`.  Startup scans the
+directory and adopts sessions frozen by a previous process — so a
+``kill -9`` mid-flight loses at most the sessions that were live in
+RAM, and everything already hibernated resumes under its old id.  A
+dropped connection (client crash, network partition, liveness-timeout
+expiry) *hibernates* its sessions instead of destroying them, so the
+client can reconnect and ``resume``; only an explicit ``disconnect``
+request destroys.
 """
 
 from __future__ import annotations
@@ -109,8 +119,11 @@ class _Connection:
                     continue
                 response = router.dispatch(message, self.emit,
                                            self.next_seq)
-                if message.command == "launch" and response.success:
-                    self.sessions.append(response.body["sessionId"])
+                if message.command in ("launch", "resume") and \
+                        response.success:
+                    session_id = response.body["sessionId"]
+                    if session_id not in self.sessions:
+                        self.sessions.append(session_id)
                 self.send(response)
         finally:
             self.close()
@@ -118,7 +131,18 @@ class _Connection:
     def close(self) -> None:
         self.closed = True
         for session_id in self.sessions:
-            self.server.manager.destroy(session_id, reason="disconnect")
+            # a dead connection is not a disconnect request: with a
+            # hibernation store the session freezes (resumable after
+            # reconnect); a busy session stays live for the idle
+            # sweeper.  Only without a store does a drop still destroy.
+            manager = self.server.manager
+            if manager.store is not None:
+                try:
+                    manager.hibernate(session_id, reason="connection")
+                except Exception:
+                    pass
+            else:
+                manager.destroy(session_id, reason="disconnect")
         self.sessions = []
         try:
             self.sock.close()
@@ -133,10 +157,19 @@ class DebugServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  config: Optional[ServerConfig] = None):
         self.config = config if config is not None else ServerConfig()
+        self.store = None
+        if self.config.hibernate_dir is not None:
+            from repro.server.hibernate import HibernationStore
+            self.store = HibernationStore(
+                self.config.hibernate_dir,
+                faults=self.config.hibernate_faults)
         self.manager = SessionManager(
             max_sessions=self.config.max_sessions,
             idle_timeout=self.config.idle_timeout,
-            workers=self.config.workers)
+            workers=self.config.workers,
+            store=self.store)
+        #: sessions frozen by a previous process, resumable by id
+        self.adopted = self.manager.adopt_frozen()
         self.router = RequestRouter(self.manager, self.config)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -181,6 +214,11 @@ class DebugServer:
 
     def _spawn(self, sock: socket.socket, peer) -> None:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if self.config.liveness_timeout is not None:
+            # a connection silent past the deadline (no requests, no
+            # heartbeat pings) times out of its blocking read; the
+            # close path then hibernates its sessions
+            sock.settimeout(self.config.liveness_timeout)
         connection = _Connection(self, sock, peer)
         with self._conn_lock:
             self._connections.append(connection)
