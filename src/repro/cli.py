@@ -3,7 +3,8 @@
 Commands:
 
 * ``run FILE.c`` — compile, instrument, and run a mini-C program with
-  optional data breakpoints (``--watch``), printing every hit;
+  optional data breakpoints (``--watch``, conditional ``--cond``,
+  transition ``--trans``), printing every hit;
 * ``asm FILE.c`` — show the generated (optionally instrumented)
   assembly;
 * ``table1`` / ``table2`` / ``figure3`` / ``nop`` / ``baselines`` /
@@ -42,6 +43,17 @@ def _add_run_parser(subparsers) -> None:
     parser.add_argument("--watch", action="append", default=[],
                         metavar="EXPR",
                         help="data breakpoint (repeatable): g, a[3], s.f")
+    parser.add_argument("--cond", action="append", default=[], nargs=2,
+                        metavar=("EXPR", "PRED"),
+                        help="conditional data breakpoint (repeatable): "
+                             "fires when PRED is true, e.g. "
+                             "--cond g '$value > 100'")
+    parser.add_argument("--trans", action="append", default=[], nargs=3,
+                        metavar=("EXPR", "PRED", "EDGE"),
+                        help="transition data breakpoint (repeatable): "
+                             "fires when PRED crosses EDGE "
+                             "(rise, fall, change), e.g. "
+                             "--trans g '$value > 100' rise")
     parser.add_argument("--monitor-reads", action="store_true",
                         help="also monitor read instructions (§5)")
     parser.add_argument("--stats", action="store_true",
@@ -106,7 +118,13 @@ def _add_connect_parser(subparsers) -> None:
     parser.add_argument("--condition", action="append", default=[],
                         metavar="COND",
                         help="condition for the matching --watch "
-                             "(e.g. '== 42')")
+                             "(legacy '== 42' or a predicate like "
+                             "'$value > limit')")
+    parser.add_argument("--when", action="append", default=[],
+                        metavar="EDGE",
+                        help="transition edge (rise, fall, change) for "
+                             "the matching --watch; requires a "
+                             "--condition for that watch")
 
 
 def _add_record_parser(subparsers) -> None:
@@ -159,6 +177,7 @@ _EVAL_COMMANDS = {
     "baselines": ("repro.eval.baselines", 0.5),
     "space": ("repro.eval.space", 1.0),
     "ablations": ("repro.eval.ablations", 0.5),
+    "watchkinds": ("repro.eval.watchkinds", 0.5),
 }
 
 
@@ -186,6 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _command_run(args) -> int:
     from repro.debugger import Debugger
+    from repro.debugger.debugger import DebuggerError
+    from repro.errors import PredicateCompileError, PredicateError
 
     with open(args.file) as handle:
         source = handle.read()
@@ -194,8 +215,20 @@ def _command_run(args) -> int:
                                    strategy=args.strategy,
                                    optimize=optimize,
                                    monitor_reads=args.monitor_reads)
-    watchpoints = [(expr, debugger.watch(expr, action="log"))
-                   for expr in args.watch]
+    requested = ([(expr, None, None) for expr in args.watch]
+                 + [(expr, pred, None) for expr, pred in args.cond]
+                 + [(expr, pred, edge) for expr, pred, edge in args.trans])
+    watchpoints = []
+    for expr, pred, edge in requested:
+        try:
+            watchpoints.append(
+                (expr, debugger.watch(expr, action="log", expr=pred,
+                                      when=edge)))
+        except (DebuggerError, PredicateCompileError,
+                PredicateError) as exc:
+            print("error: cannot watch %s: %s" % (expr, exc),
+                  file=sys.stderr)
+            return 1
     reason = debugger.run()
     sys.stdout.write("".join(
         item if item.isprintable() or item.isspace() else "?"
@@ -204,10 +237,23 @@ def _command_run(args) -> int:
         sys.stdout.write("\n")
     print("-- %s" % reason)
     for expr, watchpoint in watchpoints:
-        print("-- watch %-16s %d hit(s)%s"
-              % (expr, watchpoint.hit_count(),
-                 ", last value %d" % watchpoint.last_value()
-                 if watchpoint.hits else ""))
+        label = expr
+        if watchpoint.predicate is not None:
+            label += " if %s" % watchpoint.predicate.source
+        if watchpoint.when is not None:
+            label += " (on %s)" % watchpoint.when
+        detail = ""
+        if watchpoint.hits:
+            detail += ", last value %d" % watchpoint.last_value()
+        if watchpoint.kind != "plain":
+            detail += ", %d eval(s), %d suppressed" % (
+                watchpoint.stats.evals, watchpoint.stats.suppressed)
+        if watchpoint.disarm_error is not None:
+            detail += ", DISARMED: %s" % watchpoint.disarm_error
+        kind = ("watch" if watchpoint.kind == "plain"
+                else watchpoint.kind)
+        print("-- %s %-16s %d hit(s)%s"
+              % (kind, label, watchpoint.hit_count(), detail))
         for addr, size, value in watchpoint.hits:
             print("     wrote 0x%08x (%d bytes): %d" % (addr, size,
                                                         value))
@@ -386,6 +432,7 @@ def _command_connect(args) -> int:
     with open(args.file) as handle:
         source = handle.read()
     conditions = dict(zip(args.watch, args.condition))
+    edges = dict(zip(args.watch, args.when))
     try:
         with DebugClient(host=args.host, port=args.port) as client:
             negotiated = client.initialize()
@@ -404,6 +451,8 @@ def _command_connect(args) -> int:
                 spec = {"dataId": info["dataId"], "stop": False}
                 if expr in conditions:
                     spec["condition"] = conditions[expr]
+                if edges.get(expr):
+                    spec["when"] = edges[expr]
                 specs.append(spec)
             if specs:
                 for result in client.set_data_breakpoints(session_id,

@@ -41,12 +41,29 @@ class DebuggerError(ReproError):
 
 
 class Watchpoint:
-    """One active data breakpoint."""
+    """One active data breakpoint — plain, conditional or transition.
+
+    *predicate* is a compiled
+    :class:`~repro.watchpoints.predicate.Predicate` (None for the
+    plain/legacy kinds); *when* selects transition-edge firing
+    (``"rise"`` / ``"fall"`` / ``"change"``, None for level-triggered);
+    *access* filters hit kinds (``"read"`` / ``"write"`` /
+    ``"readWrite"``, None for the historical any-access behaviour).
+    The ``shadow`` / ``truth`` / ``stats`` fields belong to the
+    :class:`~repro.watchpoints.engine.WatchpointEngine` and are seeded
+    at arm time.
+    """
 
     def __init__(self, debugger: "Debugger", name: str, entry: SymEntry,
                  region: MonitoredRegion, action: str,
                  condition: Optional[Callable[[int], bool]],
-                 callback: Optional[Callable], func: Optional[str]):
+                 callback: Optional[Callable], func: Optional[str],
+                 predicate=None, when: Optional[str] = None,
+                 access: Optional[str] = None,
+                 addr: Optional[int] = None,
+                 size: Optional[int] = None):
+        from repro.watchpoints.engine import WatchStats
+
         self.debugger = debugger
         self.name = name
         self.entry = entry
@@ -55,8 +72,30 @@ class Watchpoint:
         self.condition = condition
         self.callback = callback
         self.func = func
+        self.predicate = predicate
+        self.when = when
+        self.access = access
+        #: exact watched byte range (the region is word-rounded and
+        #: may be shared; the engine's byte-range guard uses these)
+        self.addr = region.start if addr is None else addr
+        self.size = region.size if size is None else size
         self.hits: List[Tuple[int, int, int]] = []  # (addr, size, value)
         self.enabled = True
+        # engine state (per-watchpoint; checkpointed by value)
+        self.shadow: Dict[int, int] = {}
+        self.truth: Optional[bool] = None
+        self.record_truth: Optional[bool] = None
+        self.stats = WatchStats()
+        self.disarm_error = None
+
+    @property
+    def kind(self) -> str:
+        """"transition", "conditional" or "plain"."""
+        if self.when is not None:
+            return "transition"
+        if self.predicate is not None or self.condition is not None:
+            return "conditional"
+        return "plain"
 
     def hit_count(self) -> int:
         return len(self.hits)
@@ -86,10 +125,13 @@ class Debugger:
     """A data-breakpoint debugging session on one program."""
 
     def __init__(self, session: DebugSession):
+        from repro.watchpoints.engine import WatchpointEngine
+
         self.session = session
         self.mrs = session.mrs
         self.cpu = session.cpu
         self.symtab = session.program.symtab
+        self.engine = WatchpointEngine(self)
         self.watchpoints: List[Watchpoint] = []
         #: (start, size) -> [region, refcount]: watchpoints on the same
         #: storage share one monitored region (regions must not overlap)
@@ -169,15 +211,46 @@ class Debugger:
     def watch(self, expression: str, func: Optional[str] = None,
               action: str = "log",
               condition: Optional[Callable[[int], bool]] = None,
-              callback: Optional[Callable] = None) -> Watchpoint:
+              callback: Optional[Callable] = None,
+              expr: Optional[str] = None, when: Optional[str] = None,
+              access: Optional[str] = None) -> Watchpoint:
         """Create a data breakpoint on *expression*.
 
         ``action``: "log" (record hits), "print" (also append to
         ``self.log``), "stop" (suspend execution), or "call" (invoke
         *callback*).  *condition* filters hits by the newly written
-        value.
+        value (legacy callable form).
+
+        ``expr`` is a predicate in the watchpoint predicate language
+        (``$value > 100 && limit != 0``), compiled once at arm time;
+        ``when`` turns the watchpoint into a *transition* watchpoint
+        firing only on the selected truth edge (``"rise"`` /
+        ``"fall"`` / ``"change"``); ``access`` filters hit kinds
+        (``"read"`` / ``"write"`` / ``"readWrite"``; None fires on
+        anything the region reports, the historical behaviour).
         """
+        from repro.errors import PredicateCompileError, PredicateError
+        from repro.watchpoints.engine import ACCESS_KINDS, EDGES
+        from repro.watchpoints.predicate import compile_predicate
+
+        if when is not None and when not in EDGES:
+            raise DebuggerError(
+                "unknown transition edge %r (have: %s)"
+                % (when, ", ".join(EDGES)))
+        if when is not None and expr is None:
+            raise DebuggerError(
+                "a transition watchpoint needs a predicate (expr=)")
+        if access is not None and access not in ACCESS_KINDS:
+            raise DebuggerError(
+                "unknown access kind %r (have: %s)"
+                % (access, ", ".join(ACCESS_KINDS)))
         entry, addr, size = self.resolve(expression, func)
+        predicate = None
+        if expr is not None:
+            # compile (and thereby validate) before touching the MRS:
+            # a bad predicate must fail at arm time with nothing armed
+            predicate = compile_predicate(expr, symtab=self.symtab,
+                                          func=func)
         # §4.2 protocol: patch known writes first, then create the region
         self.mrs.pre_monitor(entry.name, func)
         key = (addr, (size + 3) & ~3)
@@ -192,8 +265,17 @@ class Debugger:
         ref[1] += 1
         region = ref[0]
         watchpoint = Watchpoint(self, expression, entry, region, action,
-                                condition, callback, func)
+                                condition, callback, func,
+                                predicate=predicate, when=when,
+                                access=access, addr=addr, size=size)
         self.watchpoints.append(watchpoint)
+        try:
+            self.engine.seed(watchpoint)
+        except (PredicateError, PredicateCompileError):
+            # the predicate faults on *current* memory: roll the arm
+            # back so nothing half-armed remains
+            self.unwatch(watchpoint)
+            raise
         if self._recorder is not None:
             self._recorder.on_monitor_change()
         return watchpoint
@@ -215,26 +297,21 @@ class Debugger:
             self._recorder.on_monitor_change()
 
     def _on_hit(self, addr: int, size: int, is_read: bool) -> None:
-        for watchpoint in self.watchpoints:
-            if not watchpoint.enabled:
-                continue
-            region = watchpoint.region
-            if not (addr < region.end and region.start < addr + size):
-                continue
-            value = to_signed(self.cpu.mem.read_word(addr & ~3))
-            if watchpoint.condition is not None and \
-                    not watchpoint.condition(value):
-                continue
-            watchpoint.hits.append((addr, size, value))
-            if watchpoint.action == "print":
-                self.log.append("%s = %d" % (watchpoint.name, value))
-            elif watchpoint.action == "stop":
-                self.stop_reason = "watch"
-                self.stopped_watch = watchpoint
-                self.cpu.stop()
-                self.cpu.exit_code = None
-            elif watchpoint.action == "call" and watchpoint.callback:
-                watchpoint.callback(watchpoint, addr, size, value)
+        self.engine.on_hit(addr, size, is_read)
+
+    def _fire(self, watchpoint: Watchpoint, addr: int, size: int,
+              value: int) -> None:
+        """Dispatch one firing hit's action (the engine decided it)."""
+        watchpoint.hits.append((addr, size, value))
+        if watchpoint.action == "print":
+            self.log.append("%s = %d" % (watchpoint.name, value))
+        elif watchpoint.action == "stop":
+            self.stop_reason = "watch"
+            self.stopped_watch = watchpoint
+            self.cpu.stop()
+            self.cpu.exit_code = None
+        elif watchpoint.action == "call" and watchpoint.callback:
+            watchpoint.callback(watchpoint, addr, size, value)
 
     # -- control breakpoints ---------------------------------------------------------
 
@@ -323,7 +400,8 @@ class Debugger:
                  [list(w.hits) for w in self.watchpoints],
                  list(self.log), self._started,
                  {key: list(ref) for key, ref in
-                  self._region_refs.items()})
+                  self._region_refs.items()},
+                 self.engine.states(self.watchpoints))
         return (snapshot, extra)
 
     def restore(self, checkpoint, discard_recording: bool = True) -> None:
@@ -337,13 +415,18 @@ class Debugger:
         """
         if discard_recording:
             self.stop_record()
-        snapshot, (watchpoints, hits, log, started,
-                   region_refs) = checkpoint
+        snapshot, extra = checkpoint
+        (watchpoints, hits, log, started, region_refs) = extra[:5]
         snapshot.restore(self.cpu, output=self.session.output,
                          mrs=self.mrs)
         self.watchpoints = list(watchpoints)
         for watchpoint, saved in zip(self.watchpoints, hits):
             watchpoint.hits = list(saved)
+        if len(extra) > 5:
+            # engine state (transition truth, $old shadow, counters)
+            # rewinds with the machine, so replayed execution re-fires
+            # predicates exactly as the recording did
+            self.engine.restore_states(self.watchpoints, extra[5])
         self.log = list(log)
         self._started = started
         self._region_refs = {key: list(ref)
@@ -355,6 +438,9 @@ class Debugger:
         """Reset the statistics a session entry rewind cannot see."""
         for watchpoint in self.watchpoints:
             watchpoint.hits = []
+        # memory is back at entry state: re-seed shadows and
+        # transition truth from it (and reset the engine counters)
+        self.engine.reseed_all()
         for breakpoint in self.breakpoints.values():
             breakpoint.hits = 0
         self.log = []
@@ -388,6 +474,9 @@ class Debugger:
             max_trace=max_trace if max_trace is not None
             else DEFAULT_MAX_TRACE)
         recorder.start()
+        # pin every transition watchpoint's truth as the baseline the
+        # trace re-evaluation (reverse_continue) simulates forward from
+        self.engine.mark_record_start()
         self._recorder = recorder
         self._replay = ReplayController(self, recorder)
         return recorder

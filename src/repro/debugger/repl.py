@@ -7,6 +7,8 @@ so data breakpoints can be explored by hand:
 
     (pdb93) watch balance          # data breakpoint, stop on write
     (pdb93) trace table[3]         # data breakpoint, log only
+    (pdb93) cond balance "$value < 0"          # conditional stop
+    (pdb93) trans balance "$value > 100" rise  # transition stop
     (pdb93) break main             # control breakpoint
     (pdb93) run                    # run / continue
     (pdb93) print balance          # read a variable
@@ -27,7 +29,8 @@ import shlex
 from typing import Callable, Dict, List, Optional
 
 from repro.debugger.debugger import Debugger, DebuggerError
-from repro.errors import ReplayError
+from repro.errors import (PredicateCompileError, PredicateError,
+                          ReplayError)
 
 
 class DebuggerRepl:
@@ -44,6 +47,8 @@ class DebuggerRepl:
         self._commands: Dict[str, Callable[[List[str]], None]] = {
             "watch": self._cmd_watch,
             "trace": self._cmd_trace,
+            "cond": self._cmd_cond,
+            "trans": self._cmd_trans,
             "unwatch": self._cmd_unwatch,
             "break": self._cmd_break,
             "run": self._cmd_run,
@@ -82,7 +87,8 @@ class DebuggerRepl:
             return True
         try:
             handler(args)
-        except (DebuggerError, ReplayError) as exc:
+        except (DebuggerError, ReplayError, PredicateCompileError,
+                PredicateError) as exc:
             self._write("error: %s" % exc)
         return True
 
@@ -103,17 +109,56 @@ class DebuggerRepl:
     def _cmd_trace(self, args: List[str]) -> None:
         self._add_watch(args, action="log")
 
-    def _add_watch(self, args: List[str], action: str) -> None:
+    def _cmd_cond(self, args: List[str]) -> None:
+        """``cond EXPR PREDICATE [func]`` — conditional data
+        breakpoint: stop only when the predicate (over ``$value``,
+        ``$old``, ``$addr``, ``$size`` and globals) holds."""
+        if len(args) < 2:
+            self._write('usage: cond EXPR "PREDICATE" [func]')
+            return
+        func = args[2] if len(args) > 2 else None
+        self._add_watch([args[0]] + ([func] if func else []),
+                        action="stop", expr=args[1])
+
+    def _cmd_trans(self, args: List[str]) -> None:
+        """``trans EXPR PREDICATE [edge] [func]`` — transition data
+        breakpoint: stop when the predicate's truth value changes on
+        the selected edge (rise / fall / change; default change)."""
+        from repro.watchpoints import EDGES
+        if len(args) < 2:
+            self._write('usage: trans EXPR "PREDICATE" '
+                        '[rise|fall|change] [func]')
+            return
+        when = "change"
+        rest = args[2:]
+        if rest and rest[0] in EDGES:
+            when, rest = rest[0], rest[1:]
+        func = rest[0] if rest else None
+        self._add_watch([args[0]] + ([func] if func else []),
+                        action="stop", expr=args[1], when=when)
+
+    def _add_watch(self, args: List[str], action: str,
+                   expr: Optional[str] = None,
+                   when: Optional[str] = None) -> None:
         if not args:
             self._write("usage: watch EXPR [func]")
             return
         func = args[1] if len(args) > 1 else None
         watchpoint = self.debugger.watch(args[0], func=func,
-                                         action=action)
-        self._write("%s #%d on %s (region 0x%08x..0x%08x)"
-                    % ("watchpoint" if action == "stop" else "trace",
+                                         action=action, expr=expr,
+                                         when=when)
+        label = "watchpoint" if action == "stop" else "trace"
+        if watchpoint.kind != "plain":
+            label = "%s %s" % (watchpoint.kind, label)
+        detail = ""
+        if expr is not None:
+            detail = " if %s" % expr
+            if when is not None:
+                detail += " (on %s)" % when
+        self._write("%s #%d on %s%s (region 0x%08x..0x%08x)"
+                    % (label,
                        self.debugger.watchpoints.index(watchpoint),
-                       args[0], watchpoint.region.start,
+                       args[0], detail, watchpoint.region.start,
                        watchpoint.region.end))
 
     def _cmd_unwatch(self, args: List[str]) -> None:
@@ -186,9 +231,21 @@ class DebuggerRepl:
         if not debugger.watchpoints and not debugger.breakpoints:
             self._write("no watchpoints or breakpoints")
         for index, watchpoint in enumerate(debugger.watchpoints):
-            self._write("#%d %-6s %-16s %d hit(s)"
+            stats = watchpoint.stats
+            detail = ""
+            if watchpoint.predicate is not None:
+                detail = " if %s" % watchpoint.predicate.source
+                if watchpoint.when is not None:
+                    detail += " (on %s)" % watchpoint.when
+                detail += " [%d eval, %d suppressed]" % (
+                    stats.evals, stats.suppressed)
+            if not watchpoint.enabled:
+                detail += (" DISARMED: %s" % watchpoint.disarm_error
+                           if watchpoint.disarm_error is not None
+                           else " disabled")
+            self._write("#%d %-6s %-16s %d hit(s)%s"
                         % (index, watchpoint.action, watchpoint.name,
-                           watchpoint.hit_count()))
+                           watchpoint.hit_count(), detail))
         for breakpoint in debugger.breakpoints.values():
             self._write("break %-16s %d hit(s)"
                         % (breakpoint.func_name, breakpoint.hits))
@@ -265,9 +322,13 @@ class DebuggerRepl:
                                   to_signed(answer.new)))
 
     def _cmd_help(self, args: List[str]) -> None:
-        self._write("commands: watch trace unwatch break run/continue "
-                    "step print info disasm checkpoint restore record "
-                    "rc rs lastwrite quit")
+        self._write("commands: watch trace cond trans unwatch break "
+                    "run/continue step print info disasm checkpoint "
+                    "restore record rc rs lastwrite quit")
+        self._write('  cond EXPR "PRED" [func]: stop when PRED holds '
+                    '($value, $old, $addr, $size, globals)')
+        self._write('  trans EXPR "PRED" [rise|fall|change] [func]: '
+                    "stop when PRED's truth changes")
 
 
 def _stdout_write(text: str) -> None:

@@ -177,6 +177,38 @@ class DivergenceError(ReplayError):
                 if key.startswith("observed_")}
 
 
+class PredicateCompileError(ReproError):
+    """A watchpoint predicate failed to compile.
+
+    Raised at *arm time* — ``watch()``, ``setDataBreakpoints`` — never
+    at first hit: bad syntax, an undefined symbol, an unsupported
+    construct (calls, frame-locals), or a constant subexpression that
+    already faults (``1 / 0``).  :attr:`context` carries the offending
+    ``token`` and the predicate ``source`` so protocol layers can
+    surface a structured ``invalid_condition`` error.
+    """
+
+    @property
+    def token(self):
+        return self.context.get("token")
+
+
+class PredicateError(ReproError):
+    """A watchpoint predicate failed while evaluating a hit.
+
+    Division by zero, a dereference of an unmapped or misaligned
+    address, an out-of-range index.  The evaluation engine catches
+    this, *disarms* the watchpoint (recording the error on it) and
+    keeps the session alive — a broken predicate must not crash the
+    debuggee.  :attr:`context` names the ``reason`` (``div_zero``,
+    ``bad_deref``, ``bad_index``) and the fault operands.
+    """
+
+    @property
+    def reason(self):
+        return self.context.get("reason")
+
+
 class RegionCreateError(MrsTransactionError):
     """``CreateMonitoredRegion`` failed; all state was rolled back."""
 

@@ -136,38 +136,28 @@ class ReplayController:
         return self.debugger.stop_reason
 
     def reverse_continue(self) -> str:
-        """Run backwards to the most recent write to any currently
-        watched region; returns "watch" (stopped at that write) or
-        "replay-start" (no earlier write in the recording)."""
+        """Run backwards to the most recent recorded access that
+        *fires* any currently armed watchpoint — conditional
+        predicates re-evaluated from the trace's old/new words,
+        transition edges simulated deterministically from the
+        recording baseline — and returns "watch" (stopped at that
+        firing) or "replay-start" (no earlier firing in the
+        recording)."""
         debugger = self.debugger
         recorder = self.recorder
         now = self.cpu.instructions
-        hit: Optional[WriteRecord] = None
-        for record in reversed(list(recorder.trace)):
-            if record.is_read or record.stop_index >= now:
-                continue
-            if self._watch_for(record) is not None:
-                hit = record
-                break
-        if hit is None:
+        firing = debugger.engine.latest_trace_firing(
+            recorder.trace, now, trace_dropped=recorder.trace.dropped)
+        if firing is None:
             self.travel_to(recorder.start_index)
             debugger.stop_reason = "replay-start"
             debugger.stopped_watch = None
             return "replay-start"
-        self.travel_to(hit.stop_index)
+        record, watchpoint = firing
+        self.travel_to(record.stop_index)
         debugger.stop_reason = "watch"
-        debugger.stopped_watch = self._watch_for(hit)
+        debugger.stopped_watch = watchpoint
         return "watch"
-
-    def _watch_for(self, record: WriteRecord):
-        for watchpoint in reversed(self.debugger.watchpoints):
-            if not watchpoint.enabled:
-                continue
-            region = watchpoint.region
-            if record.addr < region.end and \
-                    region.start < record.addr + record.size:
-                return watchpoint
-        return None
 
     # -- last-write queries --------------------------------------------------
 

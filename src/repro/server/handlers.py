@@ -52,7 +52,9 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.debugger.debugger import Debugger, DebuggerError
-from repro.errors import ProtocolError, ReproError, ServerError
+from repro.errors import (PredicateCompileError, ProtocolError,
+                          ReproError, ServerError)
+from repro.watchpoints.predicate import condition_to_expr
 from repro.faults import FaultPlan
 from repro.isa.instructions import to_signed
 from repro.machine.cpu import SimulationLimit
@@ -61,7 +63,8 @@ from repro.server.protocol import (PROTOCOL_VERSION, SUPPORTED_VERSIONS,
                                    Request, Response, error_payload)
 
 __all__ = ["ServerConfig", "RequestRouter", "fault_plan_from_spec",
-           "parse_condition"]
+           "invalid_condition", "parse_condition",
+           "supported_access_types"]
 
 #: default per-request execution quota (simulated instructions)
 DEFAULT_QUOTA = 2_000_000
@@ -121,6 +124,15 @@ class ServerConfig:
             caps["supportsResume"] = True
             caps["supportsPing"] = True
             caps["supportsRetryAfter"] = True
+        if version >= 4:
+            # predicate watchpoints shipped in protocol v4: the DAP
+            # `condition` field takes full predicate expressions, and
+            # `when` selects transition-edge firing
+            from repro.watchpoints import EDGES, SPECIALS
+            caps["supportsPredicateConditions"] = True
+            caps["supportsTransitionDataBreakpoints"] = True
+            caps["predicateSpecials"] = ["$" + name for name in SPECIALS]
+            caps["transitionEdges"] = list(EDGES)
         return caps
 
 
@@ -162,6 +174,24 @@ def parse_condition(text: str) -> Callable[[int], bool]:
         ">": lambda value: value > literal,
         ">=": lambda value: value >= literal,
     }[op]
+
+
+def invalid_condition(text: str, exc) -> ProtocolError:
+    """Map a :class:`~repro.errors.PredicateCompileError` onto the wire
+    error shape: ``reason="invalid_condition"`` plus the offending
+    token, raised at ``setDataBreakpoints`` time — a bad predicate
+    must never wait for its first hit to fail."""
+    return ProtocolError(
+        "invalid condition %r: %s" % (text, exc),
+        field="condition", reason="invalid_condition",
+        condition=text, token=getattr(exc, "token", None))
+
+
+def supported_access_types(debugger: Debugger) -> List[str]:
+    strategy = debugger.session.inst.strategy
+    if getattr(strategy, "monitor_reads", False):
+        return ["read", "write", "readWrite"]
+    return ["write"]
 
 
 def _data_id(name: str, func: Optional[str]) -> str:
@@ -336,7 +366,10 @@ class RequestRouter:
                 # human-readable description — not a request failure
                 return {"dataId": None, "description": str(exc)}
             strategy = managed.debugger.session.inst.strategy
-            access = (["read", "write"]
+            # DAP accessTypes: a read-monitoring session serves all
+            # three kinds; without read monitoring only writes are
+            # observable, so only "write" is offered
+            access = (["read", "write", "readWrite"]
                       if getattr(strategy, "monitor_reads", False)
                       else ["write"])
             return {"dataId": _data_id(name, func),
@@ -372,22 +405,47 @@ class RequestRouter:
                                             field="dataId",
                                             reason="missing")
                     name, func = _split_data_id(data_id)
-                    condition = None
+                    access = spec.get("accessType")
+                    if access is not None:
+                        allowed = supported_access_types(debugger)
+                        if access not in allowed:
+                            # DAP: an accessType the session cannot
+                            # serve is a structured rejection, never
+                            # silently downgraded to a write watch
+                            raise ProtocolError(
+                                "unsupported accessType %r (this "
+                                "session supports: %s)"
+                                % (access, ", ".join(allowed)),
+                                field="accessType",
+                                reason="access_type",
+                                accessType=access, supported=allowed)
+                    when = spec.get("when")
+                    expr = None
                     if spec.get("condition"):
-                        condition = parse_condition(spec["condition"])
+                        # both dialects land here: legacy "OP INT"
+                        # desugars to "$value OP INT", anything else is
+                        # predicate source — compiled (and rejected)
+                        # now, at set time
+                        expr = condition_to_expr(spec["condition"])
                     action = "stop" if spec.get("stop", True) else "log"
-                    watchpoint = debugger.watch(name, func=func,
-                                                action=action,
-                                                condition=condition)
+                    try:
+                        watchpoint = debugger.watch(name, func=func,
+                                                    action=action,
+                                                    expr=expr, when=when,
+                                                    access=access)
+                    except PredicateCompileError as exc:
+                        raise invalid_condition(spec["condition"], exc)
                     managed.breakpoints[data_id] = watchpoint
                     # the wire-level spec is what hibernation freezes:
                     # conditions recompile from text on thaw
                     managed.breakpoint_specs[data_id] = {
                         "dataId": data_id, "name": name, "func": func,
                         "condition": spec.get("condition"),
+                        "when": when, "accessType": access,
                         "stop": bool(spec.get("stop", True))}
                     results.append({
                         "verified": True, "dataId": data_id,
+                        "kind": watchpoint.kind,
                         "region": [watchpoint.region.start,
                                    watchpoint.region.size]})
                 except (ReproError, DebuggerError) as exc:

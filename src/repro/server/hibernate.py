@@ -388,6 +388,21 @@ def freeze_managed(managed) -> FrozenSession:
         spec = dict(managed.breakpoint_specs.get(data_id) or
                     {"dataId": data_id})
         spec["hits"] = [list(hit) for hit in watchpoint.hits]
+        # predicate/transition engine state, frozen by value so a
+        # thawed session fires the exact same edges a never-hibernated
+        # run would (the predicate itself recompiles from `condition`)
+        disarm = watchpoint.disarm_error
+        spec["engine"] = {
+            "enabled": watchpoint.enabled,
+            "truth": watchpoint.truth,
+            "recordTruth": watchpoint.record_truth,
+            "shadow": {str(word): value
+                       for word, value in watchpoint.shadow.items()},
+            "stats": list(watchpoint.stats.as_tuple()),
+            "disarm": None if disarm is None else {
+                "message": str(disarm),
+                "reason": disarm.context.get("reason")
+                if hasattr(disarm, "context") else None}}
         breakpoints.append(spec)
 
     stopped_id = None
@@ -431,8 +446,11 @@ def rebuild_managed(frozen: FrozenSession):
     (reason ``"digest"``) instead of resuming a divergent session.
     """
     from repro.debugger.debugger import Debugger, Watchpoint
+    from repro.errors import PredicateError
     from repro.replay.recorder import state_digest
-    from repro.server.handlers import parse_condition
+    from repro.watchpoints.engine import WatchStats
+    from repro.watchpoints.predicate import (compile_predicate,
+                                             condition_to_expr)
 
     program = frozen.program
     try:
@@ -487,13 +505,41 @@ def rebuild_managed(frozen: FrozenSession):
                 "frozen session %s has no monitored region for %s"
                 % (frozen.session_id, data_id), reason="digest",
                 session=frozen.session_id, dataId=data_id)
-        condition = None
+        predicate = None
         if spec.get("condition"):
-            condition = parse_condition(spec["condition"])
+            predicate = compile_predicate(
+                condition_to_expr(spec["condition"]),
+                symtab=debugger.symtab, func=func)
         action = "stop" if spec.get("stop", True) else "log"
         watchpoint = Watchpoint(debugger, name, entry, region, action,
-                                condition, None, func)
+                                None, None, func, predicate=predicate,
+                                when=spec.get("when"),
+                                access=spec.get("accessType"),
+                                addr=addr, size=size)
         watchpoint.hits = [tuple(hit) for hit in spec.get("hits") or []]
+        engine_state = spec.get("engine")
+        if engine_state is not None:
+            # restore the predicate/transition state by value: shadow
+            # truth, $old words and counters continue exactly where the
+            # freeze left them
+            watchpoint.enabled = bool(engine_state.get("enabled", True))
+            watchpoint.truth = engine_state.get("truth")
+            watchpoint.record_truth = engine_state.get("recordTruth")
+            watchpoint.shadow = {
+                int(word): value for word, value in
+                (engine_state.get("shadow") or {}).items()}
+            stats = engine_state.get("stats")
+            if stats:
+                watchpoint.stats = WatchStats.from_tuple(stats)
+            disarm = engine_state.get("disarm")
+            if disarm is not None:
+                watchpoint.disarm_error = PredicateError(
+                    disarm.get("message") or "disarmed before freeze",
+                    reason=disarm.get("reason"))
+        else:
+            # a pre-v4 frozen file: seed from the restored memory (it
+            # is at the freeze point, so the seeded shadow matches)
+            debugger.engine.seed(watchpoint)
         debugger.watchpoints.append(watchpoint)
         ref = debugger._region_refs.setdefault(key, [region, 0])
         ref[1] += 1

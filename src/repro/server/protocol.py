@@ -50,10 +50,15 @@ from repro.errors import ProtocolError, ReproError
 #: added fault tolerance: ``supportsHibernation`` with the ``resume``
 #: / ``hibernate`` / ``ping`` requests, the ``sessionHibernated`` /
 #: ``sessionResumed`` events, and ``retryAfter`` backpressure hints
-#: on retryable errors)
-PROTOCOL_VERSION = 3
+#: on retryable errors; v4 added predicate watchpoints: the standard
+#: DAP ``condition`` field now takes full predicate expressions over
+#: ``$value`` / ``$old`` / ``$addr`` / ``$size`` and debuggee
+#: globals, ``when`` selects transition-edge firing, ``accessType``
+#: filters hit kinds, and bad predicates are rejected at
+#: ``setDataBreakpoints`` time with ``reason="invalid_condition"``)
+PROTOCOL_VERSION = 4
 #: versions this implementation can serve
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 #: default cap on one frame's JSON body (bytes)
 MAX_FRAME_BYTES = 1 << 20
 

@@ -1,0 +1,374 @@
+"""The watchpoint evaluation engine.
+
+Sits between the MRS notification callback and the debugger's action
+dispatch.  For every monitor hit the engine walks the armed
+watchpoints and decides — per watchpoint — whether the hit *fires*:
+
+1. **access filter** — read watchpoints ignore writes and vice versa
+   (``access=None`` keeps the historical behaviour: fire on anything
+   the region reports);
+2. **byte-range guard** — the MRS region is word-rounded and may be
+   shared by several watchpoints; a hit outside this watchpoint's
+   exact byte range is rejected before any debuggee memory is read,
+   as is a hit whose predicate constant-folded to false;
+3. **predicate evaluation** — the compiled
+   :class:`~repro.watchpoints.predicate.Predicate` runs against a
+   lazily-built :class:`~repro.watchpoints.predicate.EvalContext`;
+   only the facts the predicate's dependency set names are
+   materialised (``$old`` comes from the engine's per-watchpoint
+   shadow words, seeded at arm time — §2.1 write checks run after the
+   store lands, so the overwritten value cannot be read back);
+4. **transition edge** — a transition watchpoint compares the new
+   truth value against its shadow truth and fires only on the
+   requested edge (``rise`` / ``fall`` / ``change``).
+
+Every decision is counted (``hits`` / ``guarded`` / ``evals`` /
+``suppressed`` / ``fired`` / ``errors`` per watchpoint), and a
+:class:`~repro.errors.PredicateError` raised mid-evaluation *disarms*
+the watchpoint — recorded on ``watchpoint.disarm_error`` and in the
+debugger log — rather than crashing the session.
+
+The engine's per-watchpoint state (shadow truth, shadow words,
+counters, disarm status) is snapshotted by value into every debugger
+checkpoint, so replay keyframe restores rewind it and re-execution
+re-fires transitions deterministically.  For ``reverse_continue`` the
+engine re-evaluates predicates *from the recorded write trace* — each
+:class:`~repro.replay.trace.WriteRecord` carries the old and new word
+— simulating transition truth forward from the truth value captured
+when recording started.  Predicates that dereference arbitrary memory
+(their historical heap state is gone) and transitions whose baseline
+was lost to trace-ring eviction fall back to the conservative legacy
+answer: any matching access to the watched bytes counts as a firing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import PredicateError
+from repro.isa.instructions import to_signed
+from repro.watchpoints.predicate import (EvalContext, Predicate,
+                                         memory_reader)
+
+__all__ = ["ACCESS_KINDS", "EDGES", "WatchStats", "WatchpointEngine",
+           "access_allows", "edge_fires"]
+
+#: selectable transition edges (false→true, true→false, either)
+EDGES = ("rise", "fall", "change")
+#: selectable access filters (None = any access, the historical default)
+ACCESS_KINDS = ("read", "write", "readWrite")
+
+
+def edge_fires(when: str, previous: bool, current: bool) -> bool:
+    """Does the *previous* → *current* truth change match edge *when*?"""
+    if when == "rise":
+        return current and not previous
+    if when == "fall":
+        return previous and not current
+    return previous != current  # "change"
+
+
+def access_allows(access: Optional[str], is_read: bool) -> bool:
+    """Does this watchpoint's access filter admit this hit kind?"""
+    if access is None or access == "readWrite":
+        return True
+    return is_read if access == "read" else not is_read
+
+
+class WatchStats:
+    """Per-watchpoint hit-path counters."""
+
+    __slots__ = ("hits", "guarded", "evals", "suppressed", "fired",
+                 "errors")
+
+    def __init__(self, hits: int = 0, guarded: int = 0, evals: int = 0,
+                 suppressed: int = 0, fired: int = 0, errors: int = 0):
+        self.hits = hits              #: notifications overlapping the region
+        self.guarded = guarded        #: rejected without reading memory
+        self.evals = evals            #: predicate evaluations executed
+        self.suppressed = suppressed  #: evaluated but did not fire
+        self.fired = fired            #: dispatched the watchpoint action
+        self.errors = errors          #: PredicateErrors (each disarms)
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int, int]:
+        return (self.hits, self.guarded, self.evals, self.suppressed,
+                self.fired, self.errors)
+
+    @classmethod
+    def from_tuple(cls, values) -> "WatchStats":
+        return cls(*values)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self) -> str:
+        return "<WatchStats %s>" % (
+            " ".join("%s=%d" % (slot, getattr(self, slot))
+                     for slot in self.__slots__))
+
+
+class WatchpointEngine:
+    """Predicate/transition evaluation over one debugger's hits."""
+
+    def __init__(self, debugger):
+        self.debugger = debugger
+
+    # -- arming ------------------------------------------------------------
+
+    def seed(self, watchpoint) -> None:
+        """Initialise *watchpoint*'s engine state from current memory.
+
+        Seeds the ``$old`` shadow words over the watched byte range
+        and — for transition watchpoints — the initial truth value, so
+        the first edge is measured against the state at arm time, not
+        against an arbitrary default.  A predicate that faults on
+        current memory raises :class:`~repro.errors.PredicateError`
+        here, at arm time.
+        """
+        mem = self.debugger.cpu.mem
+        start = watchpoint.addr & ~3
+        end = (watchpoint.addr + watchpoint.size + 3) & ~3
+        watchpoint.shadow = {word: mem.read_word(word)
+                             for word in range(start, end, 4)}
+        watchpoint.stats = WatchStats()
+        watchpoint.disarm_error = None
+        watchpoint.truth = None
+        predicate = watchpoint.predicate
+        if predicate is not None and watchpoint.when is not None:
+            if predicate.const is not None:
+                watchpoint.truth = bool(predicate.const)
+            else:
+                current = to_signed(mem.read_word(start))
+                ctx = EvalContext(value=current, old=current,
+                                  addr=watchpoint.addr,
+                                  size=watchpoint.size,
+                                  read_word=memory_reader(mem))
+                watchpoint.truth = predicate.truth(ctx)
+        watchpoint.record_truth = watchpoint.truth
+
+    def reseed_all(self) -> None:
+        """Re-initialise every watchpoint (after a session rewind the
+        debuggee memory is back at entry state).  A predicate that now
+        faults disarms its watchpoint instead of propagating."""
+        for watchpoint in self.debugger.watchpoints:
+            if watchpoint.disarm_error is not None:
+                # a fresh run gets a fresh chance; a still-broken
+                # predicate will disarm again at its first fault
+                watchpoint.enabled = True
+            try:
+                self.seed(watchpoint)
+            except PredicateError as exc:
+                self.disarm(watchpoint, exc)
+
+    # -- the hit fast path -------------------------------------------------
+
+    def on_hit(self, addr: int, size: int, is_read: bool) -> None:
+        """Dispatch one MRS notification through every watchpoint."""
+        debugger = self.debugger
+        for watchpoint in debugger.watchpoints:
+            if not watchpoint.enabled:
+                continue
+            region = watchpoint.region
+            if not (addr < region.end and region.start < addr + size):
+                continue
+            stats = watchpoint.stats
+            stats.hits += 1
+            if not access_allows(watchpoint.access, is_read) or not (
+                    addr < watchpoint.addr + watchpoint.size
+                    and watchpoint.addr < addr + size):
+                stats.guarded += 1
+            else:
+                try:
+                    fired, value = self._evaluate(watchpoint, addr,
+                                                  size)
+                except PredicateError as exc:
+                    self.disarm(watchpoint, exc)
+                    self._update_shadow(watchpoint, addr, size, is_read)
+                    continue
+                if fired:
+                    stats.fired += 1
+                    debugger._fire(watchpoint, addr, size, value)
+                else:
+                    stats.suppressed += 1
+            self._update_shadow(watchpoint, addr, size, is_read)
+
+    def _evaluate(self, watchpoint, addr: int,
+                  size: int) -> Tuple[bool, Optional[int]]:
+        """Decide whether one in-range hit fires; returns
+        ``(fired, value)`` where *value* is the (signed) word at the
+        accessed address when it was read, else None."""
+        mem = self.debugger.cpu.mem
+        predicate: Optional[Predicate] = watchpoint.predicate
+        stats = watchpoint.stats
+        value: Optional[int] = None
+
+        def current_value() -> int:
+            nonlocal value
+            if value is None:
+                value = to_signed(mem.read_word(addr & ~3))
+            return value
+
+        if predicate is None:
+            # the historical path: unconditional, or filtered by the
+            # legacy condition callable on the new value
+            current_value()
+            if watchpoint.condition is not None:
+                stats.evals += 1
+                if not watchpoint.condition(value):
+                    return False, value
+            return True, value
+        if predicate.const is not None and watchpoint.when is not None:
+            # a constant predicate can never change truth: no edges
+            stats.guarded += 1
+            return False, None
+        if predicate.const is not None and not predicate.const:
+            # constant-false conditional: rejected without any read
+            stats.guarded += 1
+            return False, None
+        stats.evals += 1
+        ctx = EvalContext(addr=addr, size=size)
+        if predicate.needs_value:
+            ctx.value = current_value()
+        if predicate.needs_old:
+            word = addr & ~3
+            raw = watchpoint.shadow.get(word)
+            ctx.old = to_signed(raw if raw is not None
+                                else mem.read_word(word))
+        if predicate.needs_memory:
+            ctx.read_word = memory_reader(mem)
+        truth = predicate.truth(ctx)
+        if watchpoint.when is None:
+            fired = truth
+        else:
+            fired = edge_fires(watchpoint.when, watchpoint.truth, truth)
+            watchpoint.truth = truth
+        if fired:
+            current_value()
+            if watchpoint.condition is not None and \
+                    not watchpoint.condition(value):
+                return False, value
+        return fired, value
+
+    def _update_shadow(self, watchpoint, addr: int, size: int,
+                       is_read: bool) -> None:
+        """Refresh the ``$old`` shadow words a write just changed —
+        even for hits the filters rejected, so the next evaluated hit
+        sees the true previous value."""
+        if is_read:
+            return
+        shadow = watchpoint.shadow
+        mem = self.debugger.cpu.mem
+        for word in range(addr & ~3, (addr + size + 3) & ~3, 4):
+            if word in shadow:
+                shadow[word] = mem.read_word(word)
+
+    def disarm(self, watchpoint, exc: PredicateError) -> None:
+        """A predicate fault: disable the watchpoint, keep the session."""
+        watchpoint.enabled = False
+        watchpoint.disarm_error = exc
+        watchpoint.stats.errors += 1
+        self.debugger.log.append(
+            "watchpoint %s disarmed: %s" % (watchpoint.name, exc))
+
+    # -- checkpoint integration --------------------------------------------
+
+    def states(self, watchpoints) -> List[tuple]:
+        """Snapshot per-watchpoint engine state by value (watchpoint
+        objects are shared across checkpoints by reference)."""
+        return [(watchpoint.enabled, watchpoint.truth,
+                 watchpoint.record_truth, dict(watchpoint.shadow),
+                 watchpoint.stats.as_tuple(), watchpoint.disarm_error)
+                for watchpoint in watchpoints]
+
+    def restore_states(self, watchpoints, states) -> None:
+        for watchpoint, state in zip(watchpoints, states):
+            (watchpoint.enabled, watchpoint.truth,
+             watchpoint.record_truth, shadow, stats,
+             watchpoint.disarm_error) = state
+            watchpoint.shadow = dict(shadow)
+            watchpoint.stats = WatchStats.from_tuple(stats)
+
+    def mark_record_start(self) -> None:
+        """Recording begins: pin every watchpoint's transition truth as
+        the baseline trace re-evaluation simulates forward from."""
+        for watchpoint in self.debugger.watchpoints:
+            watchpoint.record_truth = watchpoint.truth
+
+    # -- trace re-evaluation (reverse_continue) ----------------------------
+
+    def latest_trace_firing(self, records: Iterable, now: int,
+                            trace_dropped: int = 0):
+        """The most recent recorded access before instruction *now*
+        that fires any armed watchpoint under its predicate/transition
+        semantics; returns ``(record, watchpoint)`` or None.
+
+        Later watchpoints win ties on the same record, matching the
+        pre-predicate ``reverse_continue`` precedence.
+        """
+        records = list(records)
+        best = None
+        for order, watchpoint in enumerate(self.debugger.watchpoints):
+            if not watchpoint.enabled:
+                continue
+            for record, fired in self._trace_decisions(
+                    watchpoint, records, trace_dropped):
+                if not fired or record.stop_index >= now:
+                    continue
+                key = (record.stop_index, order)
+                if best is None or key > best[0]:
+                    best = (key, record, watchpoint)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _trace_decisions(self, watchpoint, records,
+                         trace_dropped: int):
+        """Yield ``(record, fired)`` over *records* in forward order,
+        re-evaluating the predicate from each record's old/new words
+        and simulating transition truth from the recording baseline."""
+        predicate: Optional[Predicate] = watchpoint.predicate
+        conservative = (
+            predicate is None
+            # historical memory is gone; the trace only has the word
+            or predicate.needs_memory
+            # the edge baseline was lost (armed before this recording,
+            # or the trace ring evicted the records leading up to it)
+            or (watchpoint.when is not None
+                and (trace_dropped or watchpoint.record_truth is None)))
+        truth = watchpoint.record_truth
+        for record in records:
+            if not self._trace_access(watchpoint.access, record.is_read):
+                continue
+            if not (record.addr < watchpoint.addr + watchpoint.size
+                    and watchpoint.addr < record.addr + record.size):
+                continue
+            if conservative:
+                yield record, True
+                continue
+            ctx = EvalContext(value=to_signed(record.new),
+                              old=to_signed(record.old),
+                              addr=record.addr, size=record.size)
+            try:
+                current = predicate.truth(ctx)
+            except PredicateError:
+                # the live engine disarmed here: stop at the fault
+                yield record, True
+                continue
+            if watchpoint.when is None:
+                yield record, current
+            else:
+                yield record, edge_fires(watchpoint.when, truth,
+                                         current)
+                truth = current
+
+    @staticmethod
+    def _trace_access(access: Optional[str], is_read: bool) -> bool:
+        """Which trace records can stop ``reverse_continue`` for this
+        access filter.  ``None`` means writes only — the documented
+        pre-predicate contract ("the most recent *write*") — while an
+        explicit ``read``/``readWrite`` filter opts into read stops."""
+        if access == "read":
+            return is_read
+        if access == "readWrite":
+            return True
+        return not is_read

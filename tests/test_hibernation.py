@@ -339,6 +339,107 @@ class TestHibernateThawLifecycle:
                                       for entry in body["sessions"]]
 
 
+# -- predicate watchpoints across hibernation (protocol v4) -------------------
+
+READ_SOURCE = """
+int flag;
+int total;
+int main() {
+    register int i;
+    total = 0;
+    for (i = 0; i < 20; i = i + 1) {
+        flag = i;
+        total = total + flag;
+    }
+    print(total);
+    return 0;
+}
+"""
+
+
+class TestPredicateWatchpointHibernation:
+    """The ISSUE satellite: a read watchpoint set via protocol fires
+    through ``monitorHit``, survives hibernate/thaw, and keeps its
+    predicate + transition shadow state across resume."""
+
+    #: bit 2 of flag: False for 0-3, True for 4-7, False for 8-11, ...
+    #: so a "rise" transition on the loop's reads fires at 4 and 12
+    CONDITION = "($value & 4) != 0"
+    RISE_VALUES = [4, 12]
+
+    def launch_read_transition(self, client):
+        session_id = client.launch(READ_SOURCE, monitorReads=True)
+        info = client.data_breakpoint_info(session_id, "flag")
+        assert info["accessTypes"] == ["read", "write", "readWrite"]
+        results = client.set_data_breakpoints(
+            session_id, [{"dataId": info["dataId"], "stop": True,
+                          "condition": self.CONDITION, "when": "rise",
+                          "accessType": "read"}])
+        assert results[0]["verified"] is True
+        assert results[0]["kind"] == "transition"
+        return session_id
+
+    def collect_stops(self, client, session_id):
+        stops = []
+        stop = client.cont(session_id)
+        while not stop.get("exited"):
+            if stop["reason"] == "watch":
+                stops.append(stop["value"])
+            stop = client.cont(session_id)
+        return stops, stop
+
+    def hit_stream(self, client):
+        return [(hit["address"], hit["size"], hit["pc"], hit["value"],
+                 hit["isRead"])
+                for hit in client.pop_events("monitorHit")]
+
+    def test_read_transition_survives_hibernate_thaw(self, server,
+                                                     hdir):
+        # reference: the same session, never hibernated
+        with client_for(server) as reference:
+            reference.initialize()
+            ref_id = self.launch_read_transition(reference)
+            ref_stops, ref_exit = self.collect_stops(reference, ref_id)
+            assert ref_stops == self.RISE_VALUES
+            assert ref_exit["exitCode"] == 0
+            ref_hits = self.hit_stream(reference)
+            assert any(is_read for *_rest, is_read in ref_hits)
+            ref_total = reference.evaluate(ref_id, "total")
+
+        with client_for(server) as client:
+            client.initialize()
+            session_id = self.launch_read_transition(client)
+            # run to the first rise (read of flag == 4), then freeze
+            # while the transition truth is True and the shadow holds 4
+            stop = client.cont(session_id)
+            assert stop["reason"] == "watch"
+            assert stop["value"] == self.RISE_VALUES[0]
+            pre_hits = self.hit_stream(client)
+            assert client.hibernate(session_id)["hibernated"] is True
+
+            # the frozen file carries the engine state verbatim
+            frozen = HibernationStore(hdir).load(session_id)
+            spec = frozen.breakpoints[0]
+            assert spec["condition"] == self.CONDITION
+            assert spec["when"] == "rise"
+            assert spec["accessType"] == "read"
+            engine = spec["engine"]
+            assert engine["enabled"] is True
+            assert engine["truth"] is True
+            assert 4 in list(engine["shadow"].values())
+            assert engine["disarm"] is None
+            assert engine["stats"][0] > 0  # hits observed pre-freeze
+
+            assert client.resume(session_id)["thawed"] is True
+            stops, exit_stop = self.collect_stops(client, session_id)
+            # truth stayed True across the thaw: the reads of 5-7 are
+            # not fresh rises, the next stop is the read of 12
+            assert [self.RISE_VALUES[0]] + stops == ref_stops
+            assert exit_stop["exitCode"] == 0
+            assert pre_hits + self.hit_stream(client) == ref_hits
+            assert client.evaluate(session_id, "total") == ref_total
+
+
 # -- client resilience ---------------------------------------------------------
 
 class TestClientResilience:

@@ -313,7 +313,7 @@ class TestWireRobustness:
             from repro.server.protocol import Event
             client._sock.sendall(encode(Event(seq=99, event="rogue")))
             # a direction violation is answered, not fatal
-            assert client.initialize()["protocolVersion"] == 3
+            assert client.initialize()["protocolVersion"] == 4
 
 
 class TestTimeTravel:
@@ -322,7 +322,7 @@ class TestTimeTravel:
     def test_capability_negotiation_gates_step_back(self, server):
         with client_for(server) as client:
             negotiated = client.initialize()
-            assert negotiated["protocolVersion"] == 3
+            assert negotiated["protocolVersion"] == 4
             assert negotiated["capabilities"]["supportsStepBack"] is True
             # a v1 client must never be offered time travel
             legacy = client.initialize(version=1)
