@@ -1,0 +1,208 @@
+"""Whole-program static analysis over the instrumentation IR.
+
+This package layers interprocedural reasoning on top of the per-function
+IR of :mod:`repro.ir`: call-graph construction
+(:mod:`repro.analysis.callgraph`), a flow-insensitive Andersen-style
+points-to analysis (:mod:`repro.analysis.pointsto`), an interprocedural
+value-range/affine extension (:mod:`repro.analysis.ranges`), the
+watchpoint predicate dependency pruner (:mod:`repro.analysis.prune`) and
+the trace-backed soundness auditor (:mod:`repro.analysis.audit`).
+
+:func:`run_ipa_pass` is the optimizer entry point: it is the ``"ipa"``
+elimination pass that :func:`repro.optimizer.pipeline.build_plan` runs
+after the §4 symbol and loop passes.  A store check is eliminated when
+the points-to analysis proves the written address stays within named
+static data (no heap, frame or unknown targets), and the §4.2 symbol
+re-insertion contract is preserved by registering the site under every
+symbol the store may touch — narrowed by the range analysis when it can
+bound the byte offset, fully conservative (every symbol) when it
+cannot.
+
+Memory model: the analysis assumes object-granularity memory safety —
+a store resolved to a data label stays within that label's storage, and
+index arithmetic does not wrap at 32 bits.  These are the same
+assumptions the existing scalar-promotion pass (and the paper's §4.3
+monotonic-range argument) already make; the ``repro audit`` command
+exists precisely to check the end-to-end result against recorded ground
+truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.pointsto import (HEAP, UNKNOWN, PointsTo, is_frame,
+                                     is_label)
+from repro.analysis.ranges import RangeAnalysis
+from repro.errors import InjectedFault
+from repro.faults import ANALYSIS_UNSOUND, FaultPlan
+from repro.instrument.plan import ELIM_IPA, OptimizationPlan
+from repro.optimizer.symbols import StaticSym, StaticSymbols
+
+
+def _label_layout(symbols: StaticSymbols):
+    """Per-label extent (bytes of stabs-covered storage) and data order.
+
+    The assembler lays data labels out in statement order, so "labels at
+    or after L" is computable statically; ``tests/test_analysis.py``
+    validates the order against assembled addresses.
+    """
+    extent: Dict[str, int] = {}
+    order: Dict[str, int] = {}
+    for index, (label, entries) in enumerate(
+            symbols.globals_by_label.items()):
+        extent[label] = max(e.label_offset + e.size for e in entries)
+        order[label] = index
+    return extent, order
+
+
+def _memory_entries(symbols: StaticSymbols) -> List[StaticSym]:
+    """Every stabs entry with storage (register vars have no memory)."""
+    entries: List[StaticSym] = []
+    for group in symbols.globals_by_label.values():
+        entries.extend(group)
+    for group in symbols.locals.values():
+        entries.extend(group)
+    return [e for e in entries if e.kind != "register"]
+
+
+def _entry_key(entry: StaticSym):
+    return (entry.func or "", entry.name)
+
+
+def _fact_for(atoms, bounded_entries) -> Optional[list]:
+    """A ``plan.write_facts`` value for a store with these target atoms.
+
+    ``None`` means the store may write anything; otherwise a list of
+    confinement items: ``("entry", name, func)``, ``("frame", func)`` or
+    ``("heap",)``.
+    """
+    if atoms is None or UNKNOWN in atoms:
+        return None
+    fact = []
+    for atom in sorted(atoms):
+        if atom == HEAP:
+            fact.append(("heap",))
+        elif is_frame(atom):
+            fact.append(("frame", atom[1]))
+    if bounded_entries is not None:
+        for entry in bounded_entries:
+            fact.append(("entry", entry.name, entry.func))
+    return fact
+
+
+def run_ipa_pass(statements, funcs, ssa_infos, symbols: StaticSymbols,
+                 plan: OptimizationPlan,
+                 faults: Optional[FaultPlan] = None) -> None:
+    """Interprocedural elimination over the (SSA-form) IR.
+
+    Runs after the symbol and loop passes; first decision wins, so
+    sites those passes claimed keep their kind and guards.  Populates
+    ``plan.write_facts`` for *every* store site (the predicate pruner
+    consumes them) and ``plan.pass_stats["ipa"]``.
+    """
+    graph = build_callgraph(funcs, statements)
+    pt = PointsTo(statements, funcs, graph, ssa_infos)
+    pt.run()
+    ranges = RangeAnalysis(statements, funcs, graph, ssa_infos)
+    ranges.run()
+
+    extent, order = _label_layout(symbols)
+    all_entries = _memory_entries(symbols)
+    local_entries = [e for e in all_entries
+                     if e.kind in ("local", "param")]
+    stats = plan.stats_for("ipa")
+
+    for func in funcs:
+        for access in func.accesses:
+            if access.kind != "st":
+                continue
+            op = access.op
+            site = op.site if op is not None else None
+            if site is None:
+                continue
+            if op.kind != "st":
+                # promoted scalar store: the sym pass eliminated it and
+                # the exact entry is its whole may-write set
+                if access.exact is not None:
+                    plan.write_facts[site] = [("entry", access.exact.name,
+                                               access.exact.func)]
+                continue
+
+            atoms = pt.store_atoms(op)
+            off = ranges.store_offset(op)
+
+            # -- may-write fact for the predicate pruner ---------------
+            labels = sorted(a[1] for a in (atoms or ()) if is_label(a))
+            confined = None
+            if labels and off is not None and off[0] == "sym" and \
+                    set(labels) == {off[1]} and off[2] is not None and \
+                    off[3] is not None:
+                lo, hi = off[2], off[3] + op.width
+                confined = [e for e in symbols.globals_by_label
+                            .get(off[1], ())
+                            if e.label_offset < hi and
+                            e.label_offset + e.size > lo]
+            elif labels:
+                confined = [e for label in labels
+                            for e in symbols.globals_by_label
+                            .get(label, ())]
+            plan.write_facts[site] = _fact_for(atoms, confined)
+
+            if site in plan.eliminate:
+                continue
+            stats.seen += 1
+
+            # -- elimination verdict -----------------------------------
+            if not atoms or any(not is_label(a) for a in atoms):
+                stats.guarded += 1
+                continue
+
+            base_label = min(labels, key=lambda lab: order.get(lab, -1))
+            if confined is not None and off is not None and \
+                    off[0] == "sym" and off[2] is not None and \
+                    off[3] is not None and off[2] >= 0 and \
+                    off[3] + op.width <= extent.get(off[1], 0):
+                entries = confined
+                why = ("ipa: points-to {%s}; offset [%d,%d] within "
+                       "extent; registered under %d symbol(s)"
+                       % (", ".join(labels), off[2], off[3],
+                          len(entries)))
+            elif off is not None and off[0] == "sym" and \
+                    off[2] is not None and off[2] >= 0 and \
+                    all(label in order for label in labels):
+                base_index = order[base_label]
+                entries = [e for group_label, group
+                           in symbols.globals_by_label.items()
+                           if order[group_label] >= base_index
+                           for e in group] + local_entries
+                why = ("ipa: points-to {%s}; offset >= %d, unbounded "
+                       "above; registered under labels at/after %s "
+                       "plus all locals (%d symbol(s))"
+                       % (", ".join(labels), off[2], base_label,
+                          len(entries)))
+            else:
+                entries = all_entries
+                why = ("ipa: points-to {%s}; offset unbounded; "
+                       "registered under every symbol (%d)"
+                       % (", ".join(labels), len(entries)))
+
+            if faults is not None:
+                try:
+                    faults.trip(ANALYSIS_UNSOUND, site=site)
+                except InjectedFault:
+                    plan.merge_site(site, ELIM_IPA, why=why +
+                                    " [UNSOUND: analysis.unsound "
+                                    "injection skipped re-insertion "
+                                    "registration]")
+                    stats.eliminated += 1
+                    continue
+
+            plan.merge_site(site, ELIM_IPA, why=why)
+            for entry in entries:
+                sites = plan.symbol_sites.setdefault(_entry_key(entry),
+                                                     [])
+                if site not in sites:
+                    sites.append(site)
+            stats.eliminated += 1

@@ -1,0 +1,93 @@
+"""Call-graph construction over the translated IR.
+
+The IR models a ``call`` instruction as an :class:`~repro.ir.tac.IrOp`
+of kind ``"call"`` whose callee is *not* carried on the op — it lives
+in the original assembly statement, so the graph resolves each call op
+back through ``op.stmt_index``.  Runtime services (``sbrk``, ``print``,
+``putc``, ``exit``) are software traps (``ta N``), not calls; they show
+up as ``"trap"`` ops and are classified by trap number.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.asm.ast import AsmInsn, Imm, Sym
+from repro.ir.tac import IrOp
+
+if TYPE_CHECKING:  # annotation-only; avoids an import cycle (ir.build
+    # pulls in the whole optimizer package at import time)
+    from repro.ir.build import FuncIr  # noqa: F401
+
+#: trap numbers, mirroring the mini-C code generator's builtins
+TRAP_EXIT, TRAP_PRINT_INT, TRAP_PRINT_CHAR, TRAP_SBRK = 0, 1, 2, 3
+
+
+def callee_name(op: IrOp, statements) -> Optional[str]:
+    """The textual call target of a ``call`` op, or None if indirect."""
+    stmt = statements[op.stmt_index]
+    if isinstance(stmt, AsmInsn) and stmt.ops:
+        target = stmt.ops[0]
+        if isinstance(target, Sym):
+            return target.name
+    return None
+
+
+def trap_code(op: IrOp, statements) -> Optional[int]:
+    """The trap number of a ``trap`` op, or None if unrecognisable."""
+    stmt = statements[op.stmt_index]
+    if isinstance(stmt, AsmInsn) and stmt.ops and \
+            isinstance(stmt.ops[0], Imm):
+        return stmt.ops[0].value
+    return None
+
+
+class CallSite:
+    """One ``call`` op, resolved to its caller and (maybe) callee."""
+
+    __slots__ = ("caller", "callee", "op", "stmt_index")
+
+    def __init__(self, caller: str, callee: Optional[str], op: IrOp):
+        self.caller = caller
+        self.callee = callee
+        self.op = op
+        self.stmt_index = op.stmt_index
+
+    def __repr__(self) -> str:
+        return "<call %s -> %s @%d>" % (self.caller,
+                                        self.callee or "?",
+                                        self.stmt_index)
+
+
+class CallGraph:
+    """Functions, call sites, and caller/callee adjacency."""
+
+    def __init__(self):
+        self.funcs: Dict[str, FuncIr] = {}
+        self.sites: List[CallSite] = []
+        #: callee name -> call sites targeting it
+        self.callers: Dict[str, List[CallSite]] = {}
+        #: caller name -> set of callee names (None for indirect)
+        self.callees: Dict[str, set] = {}
+
+    def is_defined(self, name: Optional[str]) -> bool:
+        return name is not None and name in self.funcs
+
+
+def build_callgraph(funcs: List[FuncIr], statements) -> CallGraph:
+    graph = CallGraph()
+    for func in funcs:
+        graph.funcs[func.name] = func
+        graph.callees.setdefault(func.name, set())
+    for func in funcs:
+        for block in func.reachable_blocks():
+            for op in block.ops:
+                if op.kind != "call":
+                    continue
+                callee = callee_name(op, statements)
+                site = CallSite(func.name, callee, op)
+                graph.sites.append(site)
+                graph.callees[func.name].add(callee)
+                if callee is not None:
+                    graph.callers.setdefault(callee, []).append(site)
+    return graph

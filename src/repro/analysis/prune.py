@@ -1,0 +1,93 @@
+"""Predicate dependency pruning for the watchpoint engine.
+
+A conditional watchpoint's predicate is re-evaluated on every monitor
+hit, reading live debuggee memory.  Most predicates over plain globals
+(``limit != 0 && mode == 2``) have a *static* read footprint — the
+:mod:`~repro.watchpoints.predicate` compiler records every
+statically-resolved ``(address, extent)`` range a compiled load may
+touch — and the ``ipa`` pass leaves a may-write fact for every store
+site in ``plan.write_facts``.  When **no write site in the program can
+alias the predicate's read set** (and the predicate observes none of
+the per-hit ``$`` specials), its truth value cannot change after arm
+time: the engine evaluates it once at seed and answers every later hit
+from the cached truth, skipping the debuggee memory reads entirely.
+Pruned evaluations are counted in ``WatchStats.pruned``.
+
+The verdict is deliberately all-or-nothing per predicate rather than
+per-site: MRS notifications do not carry the writing site id, so a
+hit-time "was this one of the harmless sites?" test is impossible —
+but a whole-program "no site can touch it" proof makes the question
+moot.  Anything unresolvable (a site without a fact, a ``None`` fact,
+a dynamic deref in the predicate) keeps the normal re-evaluating path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+__all__ = ["predicate_invariant", "fact_item_aliases"]
+
+
+def _overlaps(start: int, size: int,
+              reads: Sequence[Tuple[int, int]]) -> bool:
+    return any(start < r_addr + r_ext and r_addr < start + size
+               for r_addr, r_ext in reads)
+
+
+def fact_item_aliases(item, reads: Sequence[Tuple[int, int]],
+                      symtab) -> bool:
+    """May a write confined to *item* touch any of the *reads* ranges?
+
+    *item* is one ``plan.write_facts`` confinement item:
+    ``("heap",)``, ``("frame", func)`` or ``("entry", name, func)``.
+    Predicate reads are always static-data addresses (the compiler
+    rejects registers and frame-locals), so heap- and frame-confined
+    writes never alias them; an entry item aliases iff its storage
+    interval intersects a read range.  Unresolvable entries alias
+    everything — the conservative answer.
+    """
+    tag = item[0]
+    if tag in ("heap", "frame"):
+        return False
+    from repro.asm.symtab import SymbolError
+
+    _tag, name, func = item
+    try:
+        entry = symtab.lookup(name, func)
+    except SymbolError:
+        return True
+    if entry.kind == "register" or entry.is_frame_relative():
+        return False
+    if entry.address is None:
+        return True
+    return _overlaps(entry.address, entry.size, reads)
+
+
+def predicate_invariant(predicate, plan, symtab,
+                        sites: Optional[Iterable[int]] = None) -> bool:
+    """True when *predicate*'s truth cannot change between hits.
+
+    Requires: a compiled non-constant predicate with no per-hit
+    dependencies (``$value``/``$old``/``$addr``/``$size``), a fully
+    static read footprint (no computed-address derefs), and a may-write
+    fact for **every** write site in *sites* (default: every site the
+    plan has facts for) proving the site cannot alias any read range.
+    """
+    if predicate is None or predicate.const is not None:
+        return False
+    if predicate.needs_value or predicate.needs_old or \
+            predicate.uses_hit or predicate.dynamic_reads:
+        return False
+    reads = predicate.reads
+    facts = plan.write_facts if plan is not None else None
+    if not facts:
+        return False
+    site_ids = list(sites) if sites is not None else list(facts)
+    for site in site_ids:
+        fact = facts.get(site)
+        if fact is None:
+            return False
+        for item in fact:
+            if fact_item_aliases(item, reads, symtab):
+                return False
+    return True

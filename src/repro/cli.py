@@ -38,7 +38,7 @@ def _add_run_parser(subparsers) -> None:
                         help="write-check strategy (Bitmap, BitmapInline,"
                              " BitmapInlineRegisters, Cache, CacheInline)")
     parser.add_argument("--optimize", default="full",
-                        choices=["full", "sym", "none"],
+                        choices=["full", "sym", "ipa", "none"],
                         help="write-check elimination mode")
     parser.add_argument("--watch", action="append", default=[],
                         metavar="EXPR",
@@ -67,7 +67,7 @@ def _add_debug_parser(subparsers) -> None:
     parser.add_argument("--lang", default="C", choices=["C", "F"])
     parser.add_argument("--strategy", default="BitmapInlineRegisters")
     parser.add_argument("--optimize", default="full",
-                        choices=["full", "sym", "none"])
+                        choices=["full", "sym", "ipa", "none"])
 
 
 def _add_asm_parser(subparsers) -> None:
@@ -111,7 +111,7 @@ def _add_connect_parser(subparsers) -> None:
     parser.add_argument("--lang", default="C", choices=["C", "F"])
     parser.add_argument("--strategy", default="BitmapInlineRegisters")
     parser.add_argument("--optimize", default="full",
-                        choices=["full", "sym", "none"])
+                        choices=["full", "sym", "ipa", "none"])
     parser.add_argument("--watch", action="append", default=[],
                         metavar="EXPR",
                         help="data breakpoint (repeatable): g, a[3], s.f")
@@ -134,7 +134,7 @@ def _add_record_parser(subparsers) -> None:
     parser.add_argument("--lang", default="C", choices=["C", "F"])
     parser.add_argument("--strategy", default="BitmapInlineRegisters")
     parser.add_argument("--optimize", default="full",
-                        choices=["full", "sym", "none"])
+                        choices=["full", "sym", "ipa", "none"])
     parser.add_argument("--watch", action="append", default=[],
                         metavar="EXPR",
                         help="data breakpoint to record (repeatable)")
@@ -151,7 +151,7 @@ def _add_replay_parser(subparsers) -> None:
     parser.add_argument("--lang", default="C", choices=["C", "F"])
     parser.add_argument("--strategy", default="BitmapInlineRegisters")
     parser.add_argument("--optimize", default="full",
-                        choices=["full", "sym", "none"])
+                        choices=["full", "sym", "ipa", "none"])
     parser.add_argument("--watch", action="append", default=[],
                         metavar="EXPR",
                         help="data breakpoint to travel to (repeatable)")
@@ -169,6 +169,28 @@ def _add_replay_parser(subparsers) -> None:
                              "to a saved one (determinism proof)")
 
 
+def _add_audit_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "audit", help="trace-backed soundness audit of check "
+                      "elimination (§4.2 contract)")
+    parser.add_argument("file", nargs="?", default=None,
+                        help="mini-C source file (or use --workload)")
+    parser.add_argument("--workload", metavar="NAME",
+                        help="audit a §6 workload instead of a file")
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="workload scale (with --workload)")
+    parser.add_argument("--lang", default="C", choices=["C", "F"])
+    parser.add_argument("--strategy", default="BitmapInlineRegisters")
+    parser.add_argument("--mode", default="ipa",
+                        choices=["full", "sym", "ipa", "none"],
+                        help="optimization mode to audit")
+    parser.add_argument("--monitor", action="append", default=[],
+                        metavar="SYMBOL",
+                        help="global to monitor during the audit "
+                             "(repeatable; default: the most-written "
+                             "globals)")
+
+
 _EVAL_COMMANDS = {
     "table1": ("repro.eval.table1", 1.0),
     "table2": ("repro.eval.table2", 1.0),
@@ -178,6 +200,7 @@ _EVAL_COMMANDS = {
     "space": ("repro.eval.space", 1.0),
     "ablations": ("repro.eval.ablations", 0.5),
     "watchkinds": ("repro.eval.watchkinds", 0.5),
+    "analyze": ("repro.eval.analyze", 0.3),
 }
 
 
@@ -194,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_connect_parser(subparsers)
     _add_record_parser(subparsers)
     _add_replay_parser(subparsers)
+    _add_audit_parser(subparsers)
     for name, (_module, default_scale) in _EVAL_COMMANDS.items():
         sub = subparsers.add_parser(
             name, help="regenerate the paper's %s" % name)
@@ -397,6 +421,40 @@ def _command_replay(args) -> int:
     return 0
 
 
+def _command_audit(args) -> int:
+    from repro.analysis.audit import audit_source, audit_workload
+    from repro.errors import AuditError, UnsoundEliminationError
+
+    mode = None if args.mode == "none" else args.mode
+    monitors = [(name, None) for name in args.monitor] or None
+    try:
+        if args.workload:
+            report = audit_workload(args.workload, mode=mode,
+                                    scale=args.scale, monitors=monitors,
+                                    strategy=args.strategy)
+        elif args.file:
+            with open(args.file) as handle:
+                source = handle.read()
+            report = audit_source(source, lang=args.lang, mode=mode,
+                                  monitors=monitors,
+                                  strategy=args.strategy)
+        else:
+            print("error: audit needs a FILE or --workload NAME",
+                  file=sys.stderr)
+            return 2
+    except UnsoundEliminationError as exc:
+        print("UNSOUND: %s" % exc, file=sys.stderr)
+        print("  site:       %s" % exc.site, file=sys.stderr)
+        print("  pass:       %s" % exc.elim_pass, file=sys.stderr)
+        print("  provenance: %s" % exc.provenance, file=sys.stderr)
+        return 1
+    except AuditError as exc:
+        print("audit failed: %s" % exc, file=sys.stderr)
+        return 1
+    print(report.render())
+    return 0
+
+
 def _command_serve(args) -> int:
     from repro.server import DebugServer, ServerConfig
     from repro.server.handlers import DEFAULT_QUOTA
@@ -485,6 +543,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
+    from repro.errors import ReproError
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        # every structured repro failure (bad --optimize mode, MRS
+        # rollback, audit divergence, ...) exits non-zero with its
+        # class name and context instead of a traceback
+        print("error: %s: %s" % (type(exc).__name__, exc),
+              file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
     if args.command == "run":
         return _command_run(args)
     if args.command == "debug":
@@ -505,6 +576,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_record(args)
     if args.command == "replay":
         return _command_replay(args)
+    if args.command == "audit":
+        return _command_audit(args)
     if args.command == "breakeven":
         from repro.eval.breakeven import main as breakeven_main
         breakeven_main()

@@ -81,10 +81,15 @@ class Watchpoint:
         self.size = region.size if size is None else size
         self.hits: List[Tuple[int, int, int]] = []  # (addr, size, value)
         self.enabled = True
+        #: pruner verdict (repro.analysis.prune): True when no write
+        #: site can change the predicate's truth, so the engine may
+        #: answer hits from a seed-time cache
+        self.invariant = False
         # engine state (per-watchpoint; checkpointed by value)
         self.shadow: Dict[int, int] = {}
         self.truth: Optional[bool] = None
         self.record_truth: Optional[bool] = None
+        self.cached_truth: Optional[bool] = None
         self.stats = WatchStats()
         self.disarm_error = None
 
@@ -157,12 +162,18 @@ class Debugger:
     def for_source(cls, c_source: str, lang: str = "C",
                    strategy: str = "BitmapInlineRegisters",
                    optimize: Optional[str] = "full",
-                   monitor_reads: bool = False) -> "Debugger":
-        """Compile, instrument and attach a debugger to mini-C source."""
+                   monitor_reads: bool = False,
+                   faults=None) -> "Debugger":
+        """Compile, instrument and attach a debugger to mini-C source.
+
+        *optimize* is any :func:`~repro.optimizer.pipeline.build_plan`
+        mode (``"sym"``, ``"full"``, ``"ipa"``) or None; *faults*
+        reaches the plan build (e.g. the ``analysis.unsound`` point).
+        """
         asm = compile_source(c_source, lang=lang)
         plan: Optional[OptimizationPlan] = None
         if optimize:
-            _stmts, plan = build_plan(asm, mode=optimize)
+            _stmts, plan = build_plan(asm, mode=optimize, faults=faults)
         session = DebugSession.from_asm(asm, strategy=strategy, plan=plan,
                                         monitor_reads=monitor_reads)
         return cls(session)
@@ -268,6 +279,16 @@ class Debugger:
                                 condition, callback, func,
                                 predicate=predicate, when=when,
                                 access=access, addr=addr, size=size)
+        if predicate is not None and predicate.const is None:
+            # dependency pruning: when the ipa pass left a may-write
+            # fact for every site and none aliases the predicate's
+            # read footprint, its truth is invariant — the engine
+            # caches it at seed time
+            from repro.analysis.prune import predicate_invariant
+            inst = self.session.inst
+            watchpoint.invariant = predicate_invariant(
+                predicate, inst.plan, self.symtab,
+                sites=[s.site for s in inst.sites])
         self.watchpoints.append(watchpoint)
         try:
             self.engine.seed(watchpoint)

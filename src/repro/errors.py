@@ -209,6 +209,69 @@ class PredicateError(ReproError):
         return self.context.get("reason")
 
 
+class OptimizeModeError(ReproError, ValueError):
+    """An unknown optimization mode was requested from ``build_plan``.
+
+    Raised instead of a bare ``ValueError`` so the CLI (and the debug
+    server's ``launch`` request) can report a structured, catchable
+    error; still a ``ValueError`` subclass so historical ``except``
+    clauses keep working.  :attr:`context` carries the offending
+    ``mode`` and the ``valid`` tuple of accepted mode names.
+    """
+
+    @property
+    def mode(self):
+        return self.context.get("mode")
+
+    @property
+    def valid(self):
+        return self.context.get("valid")
+
+
+class AuditError(ReproError):
+    """A soundness audit could not certify a run.
+
+    Raised by :mod:`repro.analysis.audit` for divergences that are not
+    a missed monitor hit: extra or reordered hits, output or exit-code
+    mismatches between the instrumented run and the uninstrumented
+    ground truth.  :attr:`context` names the ``reason`` and the
+    expected/observed values.
+    """
+
+    @property
+    def reason(self):
+        return self.context.get("reason")
+
+
+class UnsoundEliminationError(AuditError):
+    """The auditor proved an eliminated check swallowed a monitor hit.
+
+    The trace-backed audit replays a recording's canonical WriteTrace
+    against the uninstrumented ground truth; a write that lands in a
+    monitored region with no corresponding notification means some
+    pass eliminated a check it had no right to remove.  :attr:`context`
+    names the write ``site``, the eliminating ``elim_pass``, the
+    ``provenance`` chain the pass recorded when it made the decision,
+    and the offending ``addr``.
+    """
+
+    @property
+    def site(self):
+        return self.context.get("site")
+
+    @property
+    def elim_pass(self):
+        return self.context.get("elim_pass")
+
+    @property
+    def provenance(self):
+        return self.context.get("provenance")
+
+    @property
+    def addr(self):
+        return self.context.get("addr")
+
+
 class RegionCreateError(MrsTransactionError):
     """``CreateMonitoredRegion`` failed; all state was rolled back."""
 

@@ -19,7 +19,7 @@ from collections import Counter
 from typing import Dict, List, Optional
 
 from repro.eval.overhead import WorkloadBench, average
-from repro.eval.paper_data import TABLE2, TABLE2_AVERAGES
+from repro.eval.paper_data import TABLE2_AVERAGES
 from repro.instrument.plan import (ELIM_LOOP_INVARIANT, ELIM_RANGE,
                                    ELIM_SYMBOL)
 from repro.optimizer.pipeline import build_plan

@@ -58,11 +58,17 @@ HIBERNATE_WRITE = "hibernate.write"
 HIBERNATE_LOAD = "hibernate.load"
 #: client-side request transmission (server.client)
 CLIENT_SEND = "client.send"
+#: interprocedural elimination decision (analysis ipa pass); tripping it
+#: makes the pass eliminate a check *without* registering re-insertion
+#: sites — deliberately unsound, so the trace-backed auditor has a
+#: provable corruption to catch (analysis.audit)
+ANALYSIS_UNSOUND = "analysis.unsound"
 
 FAULT_POINTS = (BITMAP_ALLOC, BITMAP_PUBLISH, PATCH_INSTALL, PATCH_REMOVE,
                 SERVICE_CREATE, SERVICE_DELETE, SERVICE_PRE_MONITOR,
                 SERVICE_POST_MONITOR, MEMORY_WRITE, REPLAY_KEYFRAME,
-                HIBERNATE_WRITE, HIBERNATE_LOAD, CLIENT_SEND)
+                HIBERNATE_WRITE, HIBERNATE_LOAD, CLIENT_SEND,
+                ANALYSIS_UNSOUND)
 
 
 class FaultPlan:

@@ -10,12 +10,42 @@ between :mod:`repro.optimizer` (producer) and
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: elimination kinds, as reported in Table 2
 ELIM_SYMBOL = "symbol"
 ELIM_LOOP_INVARIANT = "li"
 ELIM_RANGE = "range"
+#: interprocedural points-to/range elimination (repro.analysis)
+ELIM_IPA = "ipa"
+
+ELIM_KINDS = (ELIM_SYMBOL, ELIM_LOOP_INVARIANT, ELIM_RANGE, ELIM_IPA)
+
+
+class PassStats:
+    """Per-pass site accounting: seen / eliminated / guarded.
+
+    ``guarded`` counts sites the pass considered but could only handle
+    with a runtime guard (loop pre-header checks) or had to refuse
+    outright (ipa alias refusals); either way the inline check survives
+    in some form.
+    """
+
+    __slots__ = ("seen", "eliminated", "guarded")
+
+    def __init__(self, seen: int = 0, eliminated: int = 0,
+                 guarded: int = 0):
+        self.seen = seen
+        self.eliminated = eliminated
+        self.guarded = guarded
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"seen": self.seen, "eliminated": self.eliminated,
+                "guarded": self.guarded}
+
+    def __repr__(self) -> str:
+        return "<pass seen=%d eliminated=%d guarded=%d>" % (
+            self.seen, self.eliminated, self.guarded)
 
 
 class PreheaderCheck:
@@ -66,6 +96,20 @@ class OptimizationPlan:
         self.promoted: Dict = {}
         #: how many reserved registers this plan's code uses (report only)
         self.reserved_registers = 3
+        #: site id -> human-readable provenance chain explaining why the
+        #: pass eliminated the check (audit reports quote this verbatim)
+        self.why_eliminated: Dict[int, str] = {}
+        #: pass name ("symbol"/"loop"/"ipa") -> PassStats; populated by
+        #: build_plan and reset at the start of every run
+        self.pass_stats: Dict[str, PassStats] = {}
+        #: site id -> static may-write fact from the ipa analysis:
+        #:   None                      unknown target, may write anything
+        #:   "heap"                    writes the sbrk arena only
+        #:   ("frame", func)           writes func's stack frame only
+        #:   [(name, func|None), ...]  writes within these symtab entries
+        #: consumed by the watchpoint predicate pruner; only "ipa" plans
+        #: populate it (empty dict otherwise)
+        self.write_facts: Dict[int, object] = {}
 
     @property
     def uses_shadow_stack(self) -> bool:
@@ -74,12 +118,25 @@ class OptimizationPlan:
     def eliminated_sites(self) -> List[int]:
         return sorted(self.eliminate)
 
-    def merge_site(self, site: int, kind: str) -> None:
+    def merge_site(self, site: int, kind: str,
+                   why: Optional[str] = None) -> None:
         """Record an elimination (first decision wins)."""
-        self.eliminate.setdefault(site, kind)
+        if site in self.eliminate:
+            return
+        self.eliminate[site] = kind
+        if why is not None:
+            self.why_eliminated[site] = why
+
+    def stats_for(self, pass_name: str) -> PassStats:
+        """The (lazily created) statistics bucket for *pass_name*."""
+        return self.pass_stats.setdefault(pass_name, PassStats())
+
+    def reset_stats(self) -> None:
+        """Drop all pass statistics (called at the top of build_plan)."""
+        self.pass_stats.clear()
 
     def summary(self) -> Dict[str, int]:
-        counts = {ELIM_SYMBOL: 0, ELIM_LOOP_INVARIANT: 0, ELIM_RANGE: 0}
+        counts = {kind: 0 for kind in ELIM_KINDS}
         for kind in self.eliminate.values():
             counts[kind] += 1
         return counts

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.asm.assembler import Program, assemble
+from repro.asm.assembler import assemble
 from repro.asm.loader import LoadedProgram, load_program
 from repro.core.layout import MonitorLayout
 from repro.core.service import MonitoredRegionService

@@ -79,20 +79,22 @@ class WatchStats:
     """Per-watchpoint hit-path counters."""
 
     __slots__ = ("hits", "guarded", "evals", "suppressed", "fired",
-                 "errors")
+                 "errors", "pruned")
 
     def __init__(self, hits: int = 0, guarded: int = 0, evals: int = 0,
-                 suppressed: int = 0, fired: int = 0, errors: int = 0):
+                 suppressed: int = 0, fired: int = 0, errors: int = 0,
+                 pruned: int = 0):
         self.hits = hits              #: notifications overlapping the region
         self.guarded = guarded        #: rejected without reading memory
         self.evals = evals            #: predicate evaluations executed
         self.suppressed = suppressed  #: evaluated but did not fire
         self.fired = fired            #: dispatched the watchpoint action
         self.errors = errors          #: PredicateErrors (each disarms)
+        self.pruned = pruned          #: answered from the invariant cache
 
-    def as_tuple(self) -> Tuple[int, int, int, int, int, int]:
+    def as_tuple(self) -> Tuple[int, int, int, int, int, int, int]:
         return (self.hits, self.guarded, self.evals, self.suppressed,
-                self.fired, self.errors)
+                self.fired, self.errors, self.pruned)
 
     @classmethod
     def from_tuple(cls, values) -> "WatchStats":
@@ -133,6 +135,7 @@ class WatchpointEngine:
         watchpoint.stats = WatchStats()
         watchpoint.disarm_error = None
         watchpoint.truth = None
+        watchpoint.cached_truth = None
         predicate = watchpoint.predicate
         if predicate is not None and watchpoint.when is not None:
             if predicate.const is not None:
@@ -145,6 +148,16 @@ class WatchpointEngine:
                                   read_word=memory_reader(mem))
                 watchpoint.truth = predicate.truth(ctx)
         watchpoint.record_truth = watchpoint.truth
+        if predicate is not None and predicate.const is None and \
+                getattr(watchpoint, "invariant", False):
+            # the pruner proved no write site can alias the predicate's
+            # read set and it observes no per-hit facts: its truth is
+            # fixed from arm time on.  Evaluate once, answer hits from
+            # the cache (WatchStats.pruned counts them).
+            ctx = EvalContext(addr=watchpoint.addr,
+                              size=watchpoint.size,
+                              read_word=memory_reader(mem))
+            watchpoint.cached_truth = predicate.truth(ctx)
 
     def reseed_all(self) -> None:
         """Re-initialise every watchpoint (after a session rewind the
@@ -225,6 +238,19 @@ class WatchpointEngine:
             # constant-false conditional: rejected without any read
             stats.guarded += 1
             return False, None
+        cached = getattr(watchpoint, "cached_truth", None)
+        if cached is not None:
+            # invariant predicate (see repro.analysis.prune): answer
+            # from the seed-time truth without touching memory
+            stats.pruned += 1
+            if watchpoint.when is not None:
+                return False, None  # truth never changes: no edges
+            if cached:
+                current_value()
+                if watchpoint.condition is not None and \
+                        not watchpoint.condition(value):
+                    return False, value
+            return bool(cached), value
         stats.evals += 1
         ctx = EvalContext(addr=addr, size=size)
         if predicate.needs_value:

@@ -92,10 +92,13 @@ class EvalContext:
 class Predicate:
     """One compiled predicate: source text + evaluator + metadata."""
 
-    __slots__ = ("source", "deps", "const", "_fn")
+    __slots__ = ("source", "deps", "const", "_fn", "reads",
+                 "dynamic_reads", "uses_hit")
 
     def __init__(self, source: str, fn: Callable[[EvalContext], int],
-                 deps: FrozenSet[str], const: Optional[int]):
+                 deps: FrozenSet[str], const: Optional[int],
+                 reads: Tuple[Tuple[int, int], ...] = (),
+                 dynamic_reads: bool = False, uses_hit: bool = False):
         self.source = source
         self._fn = fn
         #: which hit facts the evaluator can touch, from
@@ -103,6 +106,17 @@ class Predicate:
         self.deps = deps
         #: folded value when the whole predicate is a constant
         self.const = const
+        #: statically-resolved ``(address, extent)`` byte ranges the
+        #: evaluator may load from (an indexed array contributes its
+        #: whole extent); the dependency footprint the pruner tests
+        #: write-site alias facts against
+        self.reads = reads
+        #: True when some load's address is computed at hit time (a
+        #: ``*expr`` deref) — the footprint is then unbounded
+        self.dynamic_reads = dynamic_reads
+        #: True when the predicate observes $addr/$size (its value can
+        #: differ between hits even with identical memory)
+        self.uses_hit = uses_hit
 
     @property
     def needs_memory(self) -> bool:
@@ -196,6 +210,14 @@ class _Compiler:
         self.source = source
         self.symtab = symtab
         self.func = func
+        #: (address, extent) ranges compiled loads may touch; only
+        #: loads that made it into the fast path are recorded (a
+        #: folded-away branch can never execute, hence never read)
+        self.reads: List[Tuple[int, int]] = []
+        #: a load whose address is computed per hit was compiled
+        self.dynamic_reads = False
+        #: $addr/$size appeared in a compiled subtree
+        self.uses_hit = False
 
     def error(self, message: str, token: Optional[str]
               ) -> PredicateCompileError:
@@ -238,7 +260,9 @@ class _Compiler:
             if special == "old":
                 return (lambda ctx: ctx.old), frozenset(("old",)), None
             if special == "addr":
+                self.uses_hit = True
                 return (lambda ctx: ctx.addr), _EMPTY, None
+            self.uses_hit = True
             return (lambda ctx: ctx.size), _EMPTY, None
         entry = self._lookup(name)
         if entry.size > 4:
@@ -246,6 +270,7 @@ class _Compiler:
                 "%s is %d bytes; predicate loads are word-sized "
                 "(index or field it)" % (name, entry.size), name)
         address = entry.address
+        self.reads.append((address, 4))
 
         def load(ctx: EvalContext) -> int:
             return ctx.read_word(address)
@@ -312,6 +337,8 @@ class _Compiler:
                         symbol=name, index=index)
                 return base_addr + offset
 
+            # computed index: the load may land anywhere in the array
+            self.reads.append((base_addr, limit))
             return address, index_deps | _MEM, None
         raise self.error("cannot take the address of this expression",
                          None)
@@ -320,6 +347,7 @@ class _Compiler:
         address_fn, deps, const = self._address_of(node)
         if const is not None:
             addr = const
+            self.reads.append((addr, 4))
             return (lambda ctx: ctx.read_word(addr)), _MEM, None
         return (lambda ctx: ctx.read_word(address_fn(ctx))), \
             deps | _MEM, None
@@ -327,6 +355,7 @@ class _Compiler:
     def _compile_field(self, node: A.Field) -> _Compiled:
         address_fn, _deps, const = self._address_of(node)
         addr = const
+        self.reads.append((addr, 4))
         return (lambda ctx: ctx.read_word(addr)), _MEM, None
 
     def _compile_unary(self, node: A.Unary) -> _Compiled:
@@ -336,7 +365,10 @@ class _Compiler:
             fn, deps, const = self.compile(node.operand)
             if const is not None:
                 addr = const
+                self.reads.append((addr, 4))
                 return (lambda ctx: ctx.read_word(addr)), _MEM, None
+            # address computed per hit: unbounded read footprint
+            self.dynamic_reads = True
             return (lambda ctx: ctx.read_word(fn(ctx))), \
                 deps | _MEM, None
         fn, deps, const = self.compile(node.operand)
@@ -462,8 +494,12 @@ def compile_predicate(source: str, symtab=None,
         raise PredicateCompileError("empty predicate", token="",
                                     source=source)
     node = _parse(source)
-    fn, deps, const = _Compiler(source, symtab, func).compile(node)
-    return Predicate(source, fn, deps, const)
+    compiler = _Compiler(source, symtab, func)
+    fn, deps, const = compiler.compile(node)
+    return Predicate(source, fn, deps, const,
+                     reads=tuple(compiler.reads),
+                     dynamic_reads=compiler.dynamic_reads,
+                     uses_hit=compiler.uses_hit)
 
 
 def memory_reader(mem) -> Callable[[int], int]:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.regions import MonitoredRegion, RegionSet
 from repro.minic.codegen import compile_source

@@ -1,7 +1,5 @@
 """Tests for checkpoint/restore and replayed execution (§5)."""
 
-import pytest
-
 from repro.debugger import Debugger
 from repro.machine.checkpoint import Checkpoint
 from repro.minic.codegen import compile_source

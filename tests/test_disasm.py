@@ -56,8 +56,8 @@ class TestDisassembler:
         assert len(text.splitlines()) >= 4
         # beyond the end: stops quietly
         text = disassemble(code, code.limit - 4, 100)
-        assert len([l for l in text.splitlines()
-                    if l.strip().startswith("0x") or "=>" in l]) == 1
+        assert len([ln for ln in text.splitlines()
+                    if ln.strip().startswith("0x") or "=>" in ln]) == 1
 
     def test_program_level_listing(self):
         debugger = make_debugger()

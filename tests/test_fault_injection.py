@@ -16,7 +16,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from helpers import oracle_hits
-from repro.core.regions import MonitoredRegion, RegionError
+from repro.core.regions import MonitoredRegion
 from repro.errors import (InjectedFault, MrsTransactionError, ReproError)
 from repro.faults import (BITMAP_ALLOC, BITMAP_PUBLISH, FaultPlan,
                           MEMORY_WRITE, PATCH_INSTALL, PATCH_REMOVE,

@@ -210,7 +210,7 @@ main:
         from repro.core.service import MonitoredRegionService
         inst = instrument_source(self.SOURCE, "Bitmap")
         loaded = load_program(inst.assemble())
-        mrs = MonitoredRegionService(loaded, inst)  # stays disabled
+        MonitoredRegionService(loaded, inst)  # stays disabled
         loaded.run()
         # only the 3-instruction disabled prologue ran per check
         assert loaded.cpu.tag_counts["check"] == 3

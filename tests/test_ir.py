@@ -1,8 +1,6 @@
 """Tests for the IR substrate: CFG construction, dominators, SSA form,
 natural loops, and assert insertion."""
 
-import pytest
-
 from repro.asm.parser import parse
 from repro.instrument.writes import enumerate_write_sites
 from repro.ir.build import apply_promotion, build_ir
@@ -153,7 +151,6 @@ class TestPromotion:
         """)
         stmts, funcs, escaped, _s = build(asm)
         promoted = apply_promotion(funcs, escaped)
-        main_func = next(f for f in funcs if f.name == "main")
         x_entry = [e for e in _s.locals.get("main", [])
                    if e.name == "x"]
         assert x_entry

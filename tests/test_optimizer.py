@@ -5,8 +5,7 @@ budget of optimized programs."""
 import pytest
 
 from repro.asm.parser import parse
-from repro.instrument.plan import (ELIM_LOOP_INVARIANT, ELIM_RANGE,
-                                   ELIM_SYMBOL)
+from repro.instrument.plan import ELIM_RANGE, ELIM_SYMBOL
 from repro.instrument.writes import enumerate_write_sites
 from repro.ir.build import apply_promotion, build_ir
 from repro.ir.loops import find_loops
@@ -17,8 +16,7 @@ from repro.optimizer.affine import (decompose_affine, find_monotonic_vars,
                                     fold_constant, is_invariant,
                                     resolve_monotonic)
 from repro.optimizer.asserts import insert_asserts
-from repro.optimizer.bounds import (A, BOT, C, LI, M, classify_address,
-                                    propagate_bounds)
+from repro.optimizer.bounds import C, classify_address, propagate_bounds
 from repro.optimizer.pipeline import build_plan
 from repro.optimizer.symbols import collect_static_symbols
 
@@ -187,7 +185,6 @@ class TestAffine:
     def test_fold_constant_through_arithmetic(self):
         source = MONO_LOOP.replace("i < 50", "i < 50 - 1")
         stmts, func, info, loops, _p = analyzed(source)
-        loop = loops[0]
         found = []
         for block in info.order:
             for op in block.ops:
@@ -252,8 +249,15 @@ class TestPlans:
         assert len(plan.jmp_check_indices) == 3
 
     def test_bad_mode_rejected(self):
+        from repro.errors import OptimizeModeError, ReproError
         with pytest.raises(ValueError):
             build_plan(compile_source(MONO_LOOP), mode="everything")
+        with pytest.raises(OptimizeModeError) as excinfo:
+            build_plan(compile_source(MONO_LOOP), mode="everything")
+        assert isinstance(excinfo.value, ReproError)
+        assert excinfo.value.mode == "everything"
+        assert "ipa" in excinfo.value.valid
+        assert "everything" in str(excinfo.value)
 
     def test_first_elimination_decision_wins(self):
         from repro.instrument.plan import OptimizationPlan

@@ -1,7 +1,5 @@
 """Tests for the interactive debugger REPL (scripted sessions)."""
 
-import pytest
-
 from repro.debugger import Debugger
 from repro.debugger.repl import DebuggerRepl
 

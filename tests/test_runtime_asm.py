@@ -1,8 +1,6 @@
 """Direct tests of the generated monitor library routines: call them
 with a hand-set %g4 and verify lookup behaviour against the bitmap."""
 
-import pytest
-
 from repro.asm.assembler import assemble
 from repro.asm.loader import load_program
 from repro.core.bitmap import SegmentedBitmap

@@ -261,8 +261,8 @@ class TestMidRunRegionCreation:
         }
         """
         debugger = Debugger.for_source(source, optimize="full")
-        trigger = debugger.watch("phase", action="stop",
-                                 condition=lambda v: v == 2)
+        debugger.watch("phase", action="stop",
+                       condition=lambda v: v == 2)
         assert debugger.run() == "watch"   # stopped mid-loop, i == 10
         late = debugger.watch("data[20]")
         assert debugger.run() == "exited"

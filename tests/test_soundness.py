@@ -93,7 +93,7 @@ class TestOptimizedSoundness:
     """Elimination must never lose hits: the debugger-level protocol
     (PreMonitor before CreateMonitoredRegion) is exercised here."""
 
-    @pytest.mark.parametrize("mode", ["sym", "full"])
+    @pytest.mark.parametrize("mode", ["sym", "full", "ipa"])
     def test_watched_symbol_with_elimination(self, mode):
         asm = compile_source(RICH_PROGRAM)
         _code, base = run_uninstrumented(asm, record_writes=True)
@@ -181,6 +181,101 @@ def test_random_regions_match_oracle(word_offsets, strategy):
     for start, size in regions:
         session.mrs.create_region(start, size)
     assert session.run() == 0
+    expected = oracle_hits(base.cpu.write_trace, regions)
+    got = [(a, s) for a, s, _r in session.mrs.hits]
+    assert got == expected
+
+
+@settings(max_examples=12, deadline=None)
+@given(mode=st.sampled_from(["sym", "full", "ipa"]),
+       symbols=st.sets(st.sampled_from(["accum", "table", "boxes",
+                                        "cursor"]),
+                       min_size=1, max_size=3))
+def test_differential_modes_agree_on_monitor_hits(mode, symbols):
+    """Differential soundness: under every elimination mode, the hits
+    on watched symbols must equal the unoptimized oracle — the §4.2
+    pre-monitor protocol is exercised exactly as the debugger does."""
+    base = _baseline()
+    _stmts, plan = build_plan(_ASM, mode=mode)
+    session = DebugSession.from_asm(
+        _ASM, strategy="BitmapInlineRegisters", plan=plan)
+    symtab = session.program.symtab
+    session.mrs.enable()
+    regions = []
+    for name in sorted(symbols):
+        entry = symtab.lookup(name)
+        session.mrs.pre_monitor(name)
+        session.mrs.create_region(entry.address, entry.size)
+        regions.append((entry.address, entry.size))
+    assert session.run() == 0
+    assert session.output == base.output
+    expected = oracle_hits(base.cpu.write_trace, regions)
+    got = [(a, s) for a, s, _r in session.mrs.hits]
+    assert got == expected
+
+
+#: adversarial aliasing corpus: programs whose stores mix heap, frame
+#: and multiple labels through shared pointers — ipa must *refuse*
+#: (registering everywhere or leaving the check) and stay sound
+ADVERSARIAL_SOURCES = [
+    # one callee pokes both a global table and an sbrk block
+    """
+    int table[8];
+    int mark;
+    int poke(int *dest, int k) {
+        dest[k % 8] = k;
+        return k;
+    }
+    int main() {
+        int *heap;
+        poke(table, 3);
+        heap = sbrk(32);
+        poke(heap, 5);
+        mark = table[3];
+        print(mark);
+        return 0;
+    }
+    """,
+    # pointer selected by data-dependent branch between two labels
+    """
+    int left;
+    int right;
+    int trace[4];
+    int main() {
+        int *p;
+        int i;
+        for (i = 0; i < 4; i = i + 1) {
+            if (i % 2) { p = &left; } else { p = &right; }
+            *p = i;
+            trace[i] = left + right;
+        }
+        print(trace[3]);
+        return 0;
+    }
+    """,
+]
+
+
+@pytest.mark.parametrize("source_index",
+                         range(len(ADVERSARIAL_SOURCES)))
+def test_adversarial_aliasing_stays_sound_under_ipa(source_index):
+    source = ADVERSARIAL_SOURCES[source_index]
+    asm = compile_source(source)
+    _code, base = run_uninstrumented(asm, record_writes=True)
+    _stmts, plan = build_plan(asm, mode="ipa")
+    session = DebugSession.from_asm(
+        asm, strategy="BitmapInlineRegisters", plan=plan)
+    symtab = session.program.symtab
+    session.mrs.enable()
+    regions = []
+    for entry in symtab.globals():
+        if entry.address is None:
+            continue
+        session.mrs.pre_monitor(entry.name)
+        session.mrs.create_region(entry.address, entry.size)
+        regions.append((entry.address, entry.size))
+    assert session.run() == 0
+    assert session.output == base.output
     expected = oracle_hits(base.cpu.write_trace, regions)
     got = [(a, s) for a, s, _r in session.mrs.hits]
     assert got == expected

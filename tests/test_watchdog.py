@@ -61,7 +61,7 @@ class TestBudgets:
         resume = False
         while True:
             try:
-                code = session.run(watchdog=watchdog, resume=resume)
+                session.run(watchdog=watchdog, resume=resume)
                 break
             except SimulationLimit:
                 # re-arming grants the budget again from the current pc

@@ -22,7 +22,7 @@ from repro.debugger import Debugger
 from repro.debugger.debugger import DebuggerError
 from repro.errors import PredicateCompileError, PredicateError
 from repro.server import DebugClient, DebugServer, ServerConfig
-from repro.watchpoints import (ACCESS_KINDS, EDGES, EvalContext,
+from repro.watchpoints import (EDGES, EvalContext,
                                WatchStats, access_allows,
                                compile_predicate, condition_to_expr,
                                edge_fires)
