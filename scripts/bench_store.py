@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Persistent trace-store benchmark.
+
+Records §6 workloads with a data breakpoint armed, ingests each
+recording into a fresh :class:`repro.store.TraceStore` several times
+under different seeds (identical deterministic machine state, distinct
+run identities — the store's dedup showcase), and prices the store:
+
+* **ingest throughput** — recordings and trace bytes per second
+  through the transactional, content-addressed ingest path;
+* **dedup ratio** — bytes the keyframe table would hold without
+  content addressing over bytes it actually holds (the gate: must
+  exceed 1.0, or dedup is broken);
+* **query latency** — p50/p95 over repeated ``hot`` and
+  ``provenance`` queries against the populated store.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_store.py            # full run
+    PYTHONPATH=src python scripts/bench_store.py --smoke    # CI-sized
+    PYTHONPATH=src python scripts/bench_store.py -o BENCH_store.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+from repro.debugger import Debugger
+from repro.store import TraceStore
+from repro.workloads import WORKLOADS, workload_source
+
+#: (workload name, watched expression) — same pairs as bench_replay
+TARGETS = [
+    ("023.eqntott", "__seed"),
+    ("030.matrix300", "c[24]"),
+]
+
+
+def percentile(samples, fraction):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def record_workload(name, watch_expr, scale, stride):
+    workload = WORKLOADS[name]
+    debugger = Debugger.for_source(workload_source(name, scale),
+                                   lang=workload.lang)
+    debugger.watch(watch_expr, action="log")
+    recorder = debugger.record(stride=stride)
+    reason = debugger.run()
+    while reason != "exited":
+        reason = debugger.run()
+    return debugger, recorder
+
+
+def bench_workload(store, name, watch_expr, scale, stride, runs,
+                   query_calls):
+    debugger, recorder = record_workload(name, watch_expr, scale,
+                                         stride)
+    ingest_s = []
+    trace_bytes = 0
+    for seed in range(runs):
+        recorder.set_meta(workload=name, scale=scale, seed=seed)
+        export = recorder.export()
+        trace_bytes = len(export.trace_bytes)
+        begin = time.perf_counter()
+        store.ingest(export)
+        ingest_s.append(time.perf_counter() - begin)
+
+    _entry, addr, size = debugger.resolve(watch_expr)
+    hot_ms, provenance_ms = [], []
+    for _ in range(query_calls):
+        begin = time.perf_counter()
+        store.hot(workload=name, top=10)
+        hot_ms.append((time.perf_counter() - begin) * 1e3)
+        begin = time.perf_counter()
+        rows = store.provenance(addr, size, workload=name)
+        provenance_ms.append((time.perf_counter() - begin) * 1e3)
+    answered = sum(1 for row in rows if row["written"])
+
+    total_ingest = sum(ingest_s)
+    return {
+        "workload": name,
+        "watch": watch_expr,
+        "scale": scale,
+        "runs_ingested": runs,
+        "trace_bytes": trace_bytes,
+        "keyframes": len(recorder.keyframes),
+        "ingest_per_s": round(runs / total_ingest, 1),
+        "ingest_mb_per_s": round(
+            runs * trace_bytes / total_ingest / 1e6, 2),
+        "provenance_runs_answered": answered,
+        "hot_ms": {
+            "samples": len(hot_ms),
+            "p50": round(percentile(hot_ms, 0.50), 3),
+            "p95": round(percentile(hot_ms, 0.95), 3),
+        },
+        "provenance_ms": {
+            "samples": len(provenance_ms),
+            "p50": round(percentile(provenance_ms, 0.50), 3),
+            "p95": round(percentile(provenance_ms, 0.95), 3),
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier")
+    parser.add_argument("--stride", type=int, default=2000,
+                        help="instructions between keyframes")
+    parser.add_argument("--runs", type=int, default=8,
+                        help="seed-distinct ingests per workload")
+    parser.add_argument("--query-calls", type=int, default=20)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (scale 0.3, few samples)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args()
+    scale = 0.3 if args.smoke else args.scale
+    runs = 3 if args.smoke else args.runs
+    query_calls = 5 if args.smoke else args.query_calls
+
+    handle, path = tempfile.mkstemp(suffix=".sqlite",
+                                    prefix="bench_store_")
+    os.close(handle)
+    os.unlink(path)     # TraceStore creates it fresh
+    try:
+        with TraceStore(path) as store:
+            workloads = [
+                bench_workload(store, name, watch_expr, scale,
+                               args.stride, runs, query_calls)
+                for name, watch_expr in TARGETS]
+            stats = store.stats()
+    finally:
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(path + suffix)
+            except OSError:
+                pass
+
+    report = {
+        "benchmark": "repro.store",
+        "workloads": workloads,
+        "store": stats,
+    }
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    if stats["dedup_ratio"] <= 1.0:
+        print("FAIL: dedup ratio %.3f is not > 1.0 — content "
+              "addressing is broken" % stats["dedup_ratio"])
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

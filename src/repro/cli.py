@@ -15,9 +15,12 @@ Commands:
 * ``connect FILE.c`` — run a mini-C program on a remote debug server
   with data breakpoints, streaming monitor hits;
 * ``record FILE.c`` — run under the time-travel recorder, printing the
-  write-trace (optionally saving it for determinism checks);
+  write-trace (optionally saving it for determinism checks, or
+  archiving it into a persistent store with ``--store``);
 * ``replay FILE.c`` — record a run, then travel backwards through it
-  (reverse-continue walk, last-write queries, trace verification).
+  (reverse-continue walk, last-write queries, trace verification);
+* ``analyze`` — cross-run analytics over a persistent trace store
+  (``hot``, ``writes``, ``regress``, ``provenance``, ``stats``).
 """
 
 from __future__ import annotations
@@ -100,6 +103,10 @@ def _add_serve_parser(subparsers) -> None:
                         metavar="SECONDS",
                         help="drop connections silent this long "
                              "(clients heartbeat with ping)")
+    parser.add_argument("--trace-store", default=None, metavar="DB",
+                        help="archive session recordings into this "
+                             "persistent trace store on hibernate or "
+                             "disconnect")
 
 
 def _add_connect_parser(subparsers) -> None:
@@ -130,7 +137,16 @@ def _add_connect_parser(subparsers) -> None:
 def _add_record_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "record", help="run under the time-travel recorder")
-    parser.add_argument("file", help="mini-C source file")
+    parser.add_argument("file", nargs="?", default=None,
+                        help="mini-C source file (or use --workload)")
+    parser.add_argument("--workload", default=None, metavar="NAME",
+                        help="record a §6 workload from the registry "
+                             "instead of a file")
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="workload scale (with --workload)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run seed recorded in the trace header "
+                             "(distinguishes repeat runs in the store)")
     parser.add_argument("--lang", default="C", choices=["C", "F"])
     parser.add_argument("--strategy", default="BitmapInlineRegisters")
     parser.add_argument("--optimize", default="full",
@@ -142,6 +158,19 @@ def _add_record_parser(subparsers) -> None:
                         help="keyframe stride in instructions")
     parser.add_argument("-o", "--trace-out", metavar="FILE",
                         help="save the canonical write-trace bytes")
+    parser.add_argument("--store", nargs="?", const="__default__",
+                        default=None, metavar="DB",
+                        help="archive the recording into this "
+                             "persistent trace store (default "
+                             "repro_store.sqlite)")
+    parser.add_argument("--store-max-runs", type=int, default=None,
+                        metavar="N",
+                        help="retention: keep at most N runs per "
+                             "workload in the store")
+    parser.add_argument("--store-max-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="retention: bound the store's payload "
+                             "bytes (LRU eviction)")
 
 
 def _add_replay_parser(subparsers) -> None:
@@ -200,7 +229,7 @@ _EVAL_COMMANDS = {
     "space": ("repro.eval.space", 1.0),
     "ablations": ("repro.eval.ablations", 0.5),
     "watchkinds": ("repro.eval.watchkinds", 0.5),
-    "analyze": ("repro.eval.analyze", 0.3),
+    "elim": ("repro.eval.analyze", 0.3),
 }
 
 
@@ -218,6 +247,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_record_parser(subparsers)
     _add_replay_parser(subparsers)
     _add_audit_parser(subparsers)
+    from repro.store.analyze import add_analyze_parser
+    add_analyze_parser(subparsers)
     for name, (_module, default_scale) in _EVAL_COMMANDS.items():
         sub = subparsers.add_parser(
             name, help="regenerate the paper's %s" % name)
@@ -320,10 +351,19 @@ def _record_run(args):
     """Compile, watch, record and run *args.file* to completion."""
     from repro.debugger import Debugger
 
-    with open(args.file) as handle:
-        source = handle.read()
+    workload = getattr(args, "workload", None)
+    if workload is not None:
+        from repro.workloads import WORKLOADS, workload_source
+        source = workload_source(workload, args.scale)
+        lang = WORKLOADS[workload].lang
+    elif args.file is not None:
+        with open(args.file) as handle:
+            source = handle.read()
+        lang = args.lang
+    else:
+        raise SystemExit("error: record needs a FILE or --workload NAME")
     optimize = None if args.optimize == "none" else args.optimize
-    debugger = Debugger.for_source(source, lang=args.lang,
+    debugger = Debugger.for_source(source, lang=lang,
                                    strategy=args.strategy,
                                    optimize=optimize)
     for expr in args.watch:
@@ -375,6 +415,31 @@ def _command_record(args) -> int:
             handle.write(data)
         print("-- trace saved to %s (%d bytes)"
               % (args.trace_out, len(data)))
+    if args.store is not None:
+        from repro.store import (DEFAULT_STORE_PATH, RetentionPolicy,
+                                 TraceStore)
+        path = (DEFAULT_STORE_PATH if args.store == "__default__"
+                else args.store)
+        retention = None
+        if (args.store_max_runs is not None
+                or args.store_max_bytes is not None):
+            retention = RetentionPolicy(
+                max_runs_per_workload=args.store_max_runs,
+                max_bytes=args.store_max_bytes)
+        workload = args.workload
+        if workload is None:
+            import os
+            workload = os.path.basename(args.file)
+        with TraceStore(path, retention=retention) as store:
+            result = store.ingest_recorder(
+                recorder, workload=workload,
+                scale=args.scale if args.workload else None,
+                seed=args.seed)
+        print("-- archived to %s as run %d (%s, %d new / %d shared "
+              "keyframe(s))"
+              % (path, result.run_id,
+                 "duplicate" if result.duplicate else "new",
+                 result.keyframes_new, result.keyframes_shared))
     return 0
 
 
@@ -465,7 +530,8 @@ def _command_serve(args) -> int:
                           quota_instructions=args.quota
                           if args.quota is not None else DEFAULT_QUOTA,
                           hibernate_dir=args.hibernate_dir,
-                          liveness_timeout=args.liveness_timeout)
+                          liveness_timeout=args.liveness_timeout,
+                          trace_store=args.trace_store)
     server = DebugServer(host=args.host, port=args.port, config=config)
     print("repro debug server listening on %s:%d "
           "(max %d sessions, %d workers, quota %d insns/request)"
@@ -475,6 +541,9 @@ def _command_serve(args) -> int:
         print("hibernation: %s (%d frozen session%s adopted)"
               % (config.hibernate_dir, len(server.adopted),
                  "" if len(server.adopted) == 1 else "s"), flush=True)
+    if config.trace_store is not None:
+        print("trace store: %s (recordings archived on hibernate or "
+              "disconnect)" % config.trace_store, flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -578,6 +647,9 @@ def _dispatch(args) -> int:
         return _command_replay(args)
     if args.command == "audit":
         return _command_audit(args)
+    if args.command == "analyze":
+        from repro.store.analyze import run_analyze
+        return run_analyze(args)
     if args.command == "breakeven":
         from repro.eval.breakeven import main as breakeven_main
         breakeven_main()

@@ -510,6 +510,22 @@ class Debugger:
     def recorder(self):
         return self._recorder
 
+    def archive_recording(self, store,
+                          wall_time_s: Optional[float] = None,
+                          **meta):
+        """Ingest the active recording into a persistent
+        :class:`~repro.store.TraceStore`; *meta* fields (workload,
+        scale, seed, ...) are stamped into the trace's run-identity
+        header first.  Returns the store's
+        :class:`~repro.store.IngestResult`."""
+        from repro.replay import ReplayError
+        if self._recorder is None:
+            raise ReplayError(
+                "no active recording to archive; call record() first",
+                reason="not_recording")
+        return store.ingest_recorder(self._recorder,
+                                     wall_time_s=wall_time_s, **meta)
+
     def stop_record(self) -> None:
         """Discard the active recording (idempotent)."""
         if self._recorder is not None:

@@ -147,6 +147,24 @@ class HibernationError(ReproError):
         return self.context.get("quarantined")
 
 
+class StoreError(ReproError):
+    """The persistent trace store could not serve a request.
+
+    Raised by :mod:`repro.store` when the SQLite database stays locked
+    past the bounded retry budget, a transaction is rolled back (an
+    injected ``store.commit`` fault counts — the previous committed
+    generation survives intact), an ingested payload fails validation,
+    or a query names an unknown run or workload.  :attr:`context`
+    carries ``reason`` (``"locked"``, ``"commit_failed"``,
+    ``"corrupt"``, ``"unknown_run"``, ``"unresolvable"``, ...) plus
+    whatever identifies the run or path involved.
+    """
+
+    @property
+    def reason(self):
+        return self.context.get("reason")
+
+
 class ReplayError(ReproError):
     """An invalid record/replay request (e.g. time travel without an
     active recording), or a recording that can no longer serve one."""

@@ -58,6 +58,11 @@ HIBERNATE_WRITE = "hibernate.write"
 HIBERNATE_LOAD = "hibernate.load"
 #: client-side request transmission (server.client)
 CLIENT_SEND = "client.send"
+#: persistent trace-store transaction commit, fired after every write
+#: in the transaction has been issued but *before* COMMIT — a fault
+#: here simulates a crash mid-commit, which must leave the previous
+#: committed generation intact (repro.store.connection)
+STORE_COMMIT = "store.commit"
 #: interprocedural elimination decision (analysis ipa pass); tripping it
 #: makes the pass eliminate a check *without* registering re-insertion
 #: sites — deliberately unsound, so the trace-backed auditor has a
@@ -68,7 +73,7 @@ FAULT_POINTS = (BITMAP_ALLOC, BITMAP_PUBLISH, PATCH_INSTALL, PATCH_REMOVE,
                 SERVICE_CREATE, SERVICE_DELETE, SERVICE_PRE_MONITOR,
                 SERVICE_POST_MONITOR, MEMORY_WRITE, REPLAY_KEYFRAME,
                 HIBERNATE_WRITE, HIBERNATE_LOAD, CLIENT_SEND,
-                ANALYSIS_UNSOUND)
+                ANALYSIS_UNSOUND, STORE_COMMIT)
 
 
 class FaultPlan:

@@ -26,7 +26,9 @@ can never publish a torn keyframe.
 
 from __future__ import annotations
 
+import hashlib
 import struct
+import time
 import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -35,7 +37,7 @@ from repro.faults import REPLAY_KEYFRAME
 from repro.machine.cpu import SimulationLimit
 from repro.replay.trace import WriteRecord, WriteTrace
 
-__all__ = ["Keyframe", "Recorder", "state_digest"]
+__all__ = ["Keyframe", "Recorder", "monitor_set_digest", "state_digest"]
 
 DEFAULT_STRIDE = 2000
 DEFAULT_MAX_KEYFRAMES = 32
@@ -59,6 +61,15 @@ def state_digest(cpu) -> int:
                         *[value & _WORD for value in regs.globals])
     data += struct.pack(">II", regs.depth & _WORD, cpu.loads & _WORD)
     return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def monitor_set_digest(mrs) -> str:
+    """Deterministic digest of the monitored-region set — part of a
+    trace's run-metadata header, so two recordings are only treated as
+    the same run when they watched the same addresses."""
+    spans = sorted((region.start, region.size) for region in mrs.regions)
+    data = ",".join("%x+%x" % span for span in spans).encode("ascii")
+    return hashlib.sha256(data).hexdigest()[:16]
 
 
 class Keyframe:
@@ -118,6 +129,42 @@ class Recorder:
         self._cursor: Optional[int] = None
         self._scan_hits: Optional[List[WriteRecord]] = None
         self._in_hook = False
+        #: wall-clock seconds spent inside resume() — recording cost,
+        #: reported to the store's run header (not part of the trace
+        #: bytes: wall time is not deterministic)
+        self.wall_time_s = 0.0
+
+    # -- run metadata ------------------------------------------------------
+
+    def set_meta(self, **fields: Any) -> None:
+        """Attach run-identity metadata to the trace header.
+
+        Only deterministic facts (workload name, scale, seed, ...) may
+        go here — the metadata is serialised into the canonical trace
+        bytes, so it participates in the digest and the store's
+        content address.  ``None`` values are dropped.
+        """
+        for key, value in fields.items():
+            if value is None:
+                self.trace.meta.pop(key, None)
+            else:
+                self.trace.meta[key] = value
+
+    def export(self, wall_time_s: Optional[float] = None):
+        """Package this recording for the persistent store.
+
+        Returns a :class:`repro.store.ingest.RecordingExport`: the
+        canonical trace bytes (run metadata completed with the
+        monitor-set digest and stride, so the bytes are
+        self-describing), every keyframe's machine checkpoint pickled
+        for content-addressed dedup, and the run statistics for the
+        store's run header.
+        """
+        from repro.store.ingest import export_recording
+
+        return export_recording(
+            self, wall_time_s=(wall_time_s if wall_time_s is not None
+                               else self.wall_time_s))
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -347,20 +394,25 @@ class Recorder:
         if not cpu.running and cpu.exit_code is not None:
             return "exited"
         budget_end = cpu.instructions + max_instructions
-        while True:
-            boundary = self._next_boundary()
-            chunk = min(boundary, budget_end) - cpu.instructions
-            reason = debugger._step_raw(max(chunk, 1))
-            self._after_chunk(boundary)
-            if reason != "step":
-                # exited, stopped at a watchpoint, or at a breakpoint
-                return reason
-            if cpu.instructions >= budget_end:
-                raise SimulationLimit(
-                    "recording: exceeded %d instructions budget"
-                    % max_instructions, budget="instructions",
-                    pc=cpu.pc, cycles=cpu.cycles,
-                    instructions=cpu.instructions, traps=cpu.traps_taken)
+        begin = time.perf_counter()
+        try:
+            while True:
+                boundary = self._next_boundary()
+                chunk = min(boundary, budget_end) - cpu.instructions
+                reason = debugger._step_raw(max(chunk, 1))
+                self._after_chunk(boundary)
+                if reason != "step":
+                    # exited, stopped at a watchpoint, or at a breakpoint
+                    return reason
+                if cpu.instructions >= budget_end:
+                    raise SimulationLimit(
+                        "recording: exceeded %d instructions budget"
+                        % max_instructions, budget="instructions",
+                        pc=cpu.pc, cycles=cpu.cycles,
+                        instructions=cpu.instructions,
+                        traps=cpu.traps_taken)
+        finally:
+            self.wall_time_s += time.perf_counter() - begin
 
     def _next_boundary(self) -> int:
         now = self.cpu.instructions

@@ -12,17 +12,45 @@ the overwritten value cannot be read back at notification time).
 The trace serialises to a canonical byte string (:meth:`to_bytes`)
 with a CRC-32 digest, which is what the determinism property tests
 compare: recording the same program twice must be byte-identical.
+
+Version 2 adds a *run-metadata header*: a canonical JSON block (sorted
+keys, no whitespace) embedded between the fixed header and the
+records, carrying the run's identity — workload name, scale, seed,
+monitor-set digest, keyframe stride.  An ingested trace is therefore
+self-describing: the persistent store (:mod:`repro.store`) and
+``repro analyze`` recover the workload from the bytes alone instead of
+relying on the caller to re-supply it.  Only *deterministic* facts
+belong in :attr:`WriteTrace.meta` — wall-clock time or host details
+would break both the determinism tests and content-addressed dedup.
+Version-1 traces (no metadata block) still decode, with empty meta.
 """
 
 from __future__ import annotations
 
+import json
 import struct
-from typing import Iterator, List, NamedTuple, Optional
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional
 
 _RECORD = struct.Struct(">QIIIIIB")
 _HEADER = struct.Struct(">4sHQQ")
+_META_LEN = struct.Struct(">I")
 _MAGIC = b"RPWT"
-_VERSION = 1
+_VERSION = 2
+#: newest format this reader still accepts with no metadata block
+_V1 = 1
+#: refuse to parse metadata blocks larger than this (a torn length
+#: field must not make us allocate gigabytes)
+MAX_META_BYTES = 1 << 20
+
+
+def canonical_meta_bytes(meta: Dict[str, Any]) -> bytes:
+    """The unique byte form of a metadata dict: sorted keys, compact
+    separators — equal dicts always serialise identically, so the
+    trace digest (and the store's content address) is stable."""
+    if not meta:
+        return b""
+    return json.dumps(meta, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
 
 
 class WriteRecord(NamedTuple):
@@ -66,13 +94,18 @@ class WriteTrace:
     prefix, and ``last_write_to`` falls back to a re-execution scan.
     """
 
-    def __init__(self, max_records: int = 65536):
+    def __init__(self, max_records: int = 65536,
+                 meta: Optional[Dict[str, Any]] = None):
         if max_records < 1:
             raise ValueError("max_records must be positive")
         self.max_records = max_records
         self._records: List[WriteRecord] = []
         #: absolute position of _records[0]
         self.base = 0
+        #: run-metadata header (workload, scale, seed, monitors,
+        #: stride, ...) — deterministic facts only; serialised into
+        #: the canonical byte form, so it participates in the digest
+        self.meta: Dict[str, Any] = dict(meta) if meta else {}
 
     @property
     def total(self) -> int:
@@ -144,9 +177,12 @@ class WriteTrace:
     # -- canonical serialisation -------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Canonical serialisation: header + packed records, in order."""
+        """Canonical serialisation: header + metadata block + packed
+        records, in order."""
+        meta = canonical_meta_bytes(self.meta)
         parts = [_HEADER.pack(_MAGIC, _VERSION, self.base,
-                              len(self._records))]
+                              len(self._records)),
+                 _META_LEN.pack(len(meta)), meta]
         parts.extend(record.pack() for record in self._records)
         return b"".join(parts)
 
@@ -154,12 +190,22 @@ class WriteTrace:
     def from_bytes(cls, data: bytes,
                    max_records: Optional[int] = None) -> "WriteTrace":
         magic, version, base, count = _HEADER.unpack_from(data, 0)
-        if magic != _MAGIC or version != _VERSION:
-            raise ValueError("not a v%d write trace" % _VERSION)
+        if magic != _MAGIC or version not in (_V1, _VERSION):
+            raise ValueError("not a v%d/v%d write trace" % (_V1, _VERSION))
         trace = cls(max_records=max_records
                     if max_records is not None else max(count, 1))
         trace.base = base
         offset = _HEADER.size
+        if version >= 2:
+            (meta_len,) = _META_LEN.unpack_from(data, offset)
+            offset += _META_LEN.size
+            if meta_len > MAX_META_BYTES:
+                raise ValueError("implausible trace metadata length %d"
+                                 % meta_len)
+            if meta_len:
+                trace.meta = json.loads(
+                    data[offset:offset + meta_len].decode("utf-8"))
+                offset += meta_len
         for _ in range(count):
             trace._records.append(WriteRecord.unpack(
                 data[offset:offset + _RECORD.size]))

@@ -83,7 +83,8 @@ class ServerConfig:
                  max_frame_bytes: Optional[int] = None,
                  hibernate_dir: Optional[str] = None,
                  hibernate_faults=None,
-                 liveness_timeout: Optional[float] = None):
+                 liveness_timeout: Optional[float] = None,
+                 trace_store: Optional[str] = None):
         from repro.server.protocol import MAX_FRAME_BYTES
         self.max_sessions = max_sessions
         self.idle_timeout = idle_timeout
@@ -99,6 +100,9 @@ class ServerConfig:
         #: drop connections silent for this long (the client heartbeat
         #: keeps a healthy-but-idle connection alive with ``ping``)
         self.liveness_timeout = liveness_timeout
+        #: persistent :mod:`repro.store` database path; recordings are
+        #: archived there when a session hibernates or disconnects
+        self.trace_store = trace_store
 
     def capabilities(self,
                      version: int = PROTOCOL_VERSION) -> Dict[str, Any]:
@@ -317,6 +321,10 @@ class RequestRouter:
             "optimize": optimize if optimize != "none" else None,
             "monitorReads": monitor_reads,
             "faults": bool(faults_spec)}
+        workload = arguments.get("workload")
+        if workload:
+            # names the run in the persistent trace store's analytics
+            managed.program_spec["workload"] = workload
         self._wire_monitor_stream(managed)
         if record_spec:
             options = record_spec if isinstance(record_spec, dict) else {}

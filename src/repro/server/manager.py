@@ -124,12 +124,15 @@ class SessionManager:
     def __init__(self, max_sessions: int = 16,
                  idle_timeout: Optional[float] = None,
                  workers: int = 8,
-                 store=None):
+                 store=None, trace_store=None):
         self.max_sessions = max_sessions
         self.idle_timeout = idle_timeout
         self.workers = workers
         #: optional :class:`~repro.server.hibernate.HibernationStore`
         self.store = store
+        #: optional :class:`~repro.store.TraceStore`; active recordings
+        #: are archived there when a session hibernates or is destroyed
+        self.trace_store = trace_store
         #: hook run on every thawed session before it goes live —
         #: the router uses it to re-wire the monitorHit event stream
         self.on_thaw: Optional[Callable[[ManagedSession], None]] = None
@@ -210,6 +213,7 @@ class SessionManager:
             return frozen
         with managed.lock:
             if managed.debugger is not None:
+                self.archive_recording(managed)
                 # a placeholder has no subscribers and no debuggee; do
                 # not emit events against a half-built session
                 managed.emit("sessionEvicted", {"reason": reason})
@@ -273,6 +277,7 @@ class SessionManager:
             except HibernationError:
                 return False  # not hibernatable (no spec / fault plan)
             self.store.save(frozen)  # HibernationError propagates
+            self.archive_recording(managed)
             managed.emit("sessionHibernated",
                          {"reason": reason,
                           "resumable": True})
@@ -347,6 +352,44 @@ class SessionManager:
             # frozen file must never be resumed a second time
             self.store.remove(session_id)
             return managed
+
+    # -- trace archiving ---------------------------------------------------
+
+    def archive_recording(self, managed: ManagedSession) -> None:
+        """Best-effort: persist *managed*'s active recording into the
+        trace store (caller holds the session lock).
+
+        Runs at end-of-life transitions — hibernate and destroy — so a
+        recorded server session leaves an analyzable artefact behind.
+        Archiving is strictly secondary to the lifecycle operation: a
+        full disk or locked store must never turn a disconnect into an
+        error, so failures surface as a ``storeError`` event, nothing
+        more.
+        """
+        if self.trace_store is None or managed.debugger is None:
+            return
+        recorder = getattr(managed.debugger, "recorder", None)
+        if recorder is None or len(recorder.trace) == 0 \
+                and not recorder.keyframes:
+            return
+        spec = managed.program_spec or {}
+        workload = spec.get("workload")
+        if not workload:
+            import hashlib
+            source = spec.get("source") or ""
+            workload = "adhoc-%s" % hashlib.sha256(
+                source.encode("utf-8")).hexdigest()[:8]
+        try:
+            result = self.trace_store.ingest_recorder(
+                recorder, workload=workload, session=managed.id)
+            managed.emit("recordingArchived",
+                         {"runId": result.run_id,
+                          "runKey": result.run_key,
+                          "duplicate": result.duplicate,
+                          "workload": workload})
+        except Exception as exc:
+            managed.emit("storeError", {"error": str(exc),
+                                        "workload": workload})
 
     # -- execution ---------------------------------------------------------
 

@@ -163,11 +163,16 @@ class DebugServer:
             self.store = HibernationStore(
                 self.config.hibernate_dir,
                 faults=self.config.hibernate_faults)
+        self.trace_store = None
+        if self.config.trace_store is not None:
+            from repro.store import TraceStore
+            self.trace_store = TraceStore(self.config.trace_store)
         self.manager = SessionManager(
             max_sessions=self.config.max_sessions,
             idle_timeout=self.config.idle_timeout,
             workers=self.config.workers,
-            store=self.store)
+            store=self.store,
+            trace_store=self.trace_store)
         #: sessions frozen by a previous process, resumable by id
         self.adopted = self.manager.adopt_frozen()
         self.router = RequestRouter(self.manager, self.config)
@@ -259,6 +264,8 @@ class DebugServer:
             connection.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
+        if self.trace_store is not None:
+            self.trace_store.close()
 
     def __enter__(self) -> "DebugServer":
         return self

@@ -1,0 +1,41 @@
+"""Persistent trace store with cross-run write analytics.
+
+Recordings made by :class:`repro.replay.Recorder` are packaged into
+content-addressed exports (run key = digest of the canonical trace
+bytes; keyframes deduplicated by snapshot digest) and kept in a
+WAL-mode SQLite database that survives crashes mid-commit.  The
+``repro analyze`` CLI answers cross-run questions — hottest written
+regions, write-density statistics, overhead regressions, and
+"who last wrote this address" provenance — straight from the store.
+"""
+
+from repro.store.connection import (DEFAULT_RETRIES,
+                                    DEFAULT_RETRY_WAIT_S,
+                                    StoreConnection)
+from repro.store.ingest import (IngestResult, KeyframeExport,
+                                RecordingExport, export_recording,
+                                ingest)
+from repro.store.queries import StoredRun
+from repro.store.retention import (EvictionReport, RetentionPolicy,
+                                   apply_retention, stored_bytes)
+from repro.store.schema import SCHEMA_VERSION
+from repro.store.store import DEFAULT_STORE_PATH, TraceStore
+
+__all__ = [
+    "DEFAULT_RETRIES",
+    "DEFAULT_RETRY_WAIT_S",
+    "DEFAULT_STORE_PATH",
+    "EvictionReport",
+    "IngestResult",
+    "KeyframeExport",
+    "RecordingExport",
+    "RetentionPolicy",
+    "SCHEMA_VERSION",
+    "StoreConnection",
+    "StoredRun",
+    "TraceStore",
+    "apply_retention",
+    "export_recording",
+    "ingest",
+    "stored_bytes",
+]

@@ -1,0 +1,100 @@
+"""Relational schema of the persistent trace store.
+
+Three tables:
+
+* ``keyframes`` — content-addressed machine checkpoints.  The digest
+  (sha-256 of the pickled :class:`~repro.machine.checkpoint.Checkpoint`)
+  is the primary key, so N runs of the same deterministic program
+  store each keyframe payload exactly once; ``run_keyframes`` rows
+  carry the per-run references.
+* ``runs`` — one row per ingested recording: the run-identity header
+  (workload, scale, seed, monitor-set digest, stride), the execution
+  statistics (instructions, stores, wall time), and the canonical
+  write-trace bytes.  ``run_key`` is the content address — the sha-256
+  of the trace bytes, which embed the metadata header — so re-ingesting
+  an identical recording is an idempotent, counted no-op
+  (``ingest_count`` increments, no duplicate row).
+* ``run_keyframes`` — the many-to-many edge between runs and
+  keyframes, with the per-run anchor metadata (instruction index,
+  trace position, CRC-32 control-state digest).  ``ON DELETE CASCADE``
+  keeps the edge table consistent under retention eviction; orphaned
+  ``keyframes`` rows are garbage-collected explicitly, never while a
+  surviving run still references them.
+
+``user_version`` records the schema generation; :func:`ensure_schema`
+creates the tables on a fresh database and refuses to open a database
+written by a newer generation instead of silently misreading it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StoreError
+
+#: bump when the schema changes incompatibly
+SCHEMA_VERSION = 1
+
+SCHEMA = """
+CREATE TABLE IF NOT EXISTS keyframes (
+    digest      TEXT PRIMARY KEY,
+    payload     BLOB NOT NULL,
+    size        INTEGER NOT NULL,
+    created_at  REAL NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS runs (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_key       TEXT NOT NULL UNIQUE,
+    workload      TEXT NOT NULL,
+    scale         REAL,
+    seed          INTEGER,
+    monitors      TEXT,
+    stride        INTEGER,
+    lang          TEXT,
+    strategy      TEXT,
+    optimize      TEXT,
+    instructions  INTEGER NOT NULL,
+    stores        INTEGER NOT NULL DEFAULT 0,
+    wall_time_s   REAL,
+    start_index   INTEGER NOT NULL DEFAULT 0,
+    end_index     INTEGER NOT NULL DEFAULT 0,
+    trace_digest  TEXT NOT NULL,
+    trace         BLOB NOT NULL,
+    trace_records INTEGER NOT NULL,
+    trace_dropped INTEGER NOT NULL DEFAULT 0,
+    ingest_count  INTEGER NOT NULL DEFAULT 1,
+    created_at    REAL NOT NULL,
+    last_access   REAL NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS runs_workload
+    ON runs (workload, last_access);
+
+CREATE TABLE IF NOT EXISTS run_keyframes (
+    run_id          INTEGER NOT NULL
+                    REFERENCES runs (id) ON DELETE CASCADE,
+    keyframe_digest TEXT NOT NULL REFERENCES keyframes (digest),
+    idx             INTEGER NOT NULL,
+    trace_pos       INTEGER NOT NULL,
+    state_digest    INTEGER NOT NULL,
+    PRIMARY KEY (run_id, idx, keyframe_digest)
+);
+
+CREATE INDEX IF NOT EXISTS run_keyframes_digest
+    ON run_keyframes (keyframe_digest);
+"""
+
+
+def ensure_schema(conn) -> None:
+    """Create the schema on a fresh database; verify the generation on
+    an existing one."""
+    (version,) = conn.execute("PRAGMA user_version").fetchone()
+    if version == 0:
+        conn.executescript(SCHEMA)
+        conn.execute("PRAGMA user_version = %d" % SCHEMA_VERSION)
+        conn.commit()
+        return
+    if version != SCHEMA_VERSION:
+        raise StoreError(
+            "store schema generation %d is not supported (have %d)"
+            % (version, SCHEMA_VERSION), reason="corrupt",
+            found=version, supported=SCHEMA_VERSION)

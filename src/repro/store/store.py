@@ -1,0 +1,146 @@
+"""The store facade: one object tying connection, ingest, retention
+and queries together.
+
+.. code-block:: python
+
+    from repro.store import RetentionPolicy, TraceStore
+
+    store = TraceStore("repro_store.sqlite",
+                       retention=RetentionPolicy(max_runs_per_workload=8))
+    recorder.set_meta(workload="023.eqntott", scale=0.5, seed=1)
+    result = store.ingest_recorder(recorder)     # dedup + retention
+    store.hot(workload="023.eqntott")            # hottest regions
+    store.provenance(addr, size)                 # who wrote this last
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.faults import FaultPlan
+from repro.store.connection import StoreConnection
+from repro.store.ingest import IngestResult, RecordingExport, ingest
+from repro.store.queries import (StoredRun, get_run, hot_regions,
+                                 list_runs, load_trace, provenance,
+                                 regress, store_stats, write_stats)
+from repro.store.retention import (EvictionReport, RetentionPolicy,
+                                   apply_retention)
+
+__all__ = ["DEFAULT_STORE_PATH", "TraceStore"]
+
+#: where the CLI puts the store when ``--store`` is given bare
+DEFAULT_STORE_PATH = "repro_store.sqlite"
+
+
+class TraceStore:
+    """Content-addressed persistent store of recordings + analytics."""
+
+    def __init__(self, path: str = DEFAULT_STORE_PATH,
+                 retention: Optional[RetentionPolicy] = None,
+                 faults: Optional[FaultPlan] = None):
+        self.connection = StoreConnection(path, faults=faults)
+        self.retention = retention
+
+    @property
+    def path(self) -> str:
+        return self.connection.path
+
+    # -- write side --------------------------------------------------------
+
+    def ingest(self, export: RecordingExport) -> IngestResult:
+        """Store one packaged recording transactionally: content-
+        addressed run upsert, keyframe dedup, then retention — all or
+        nothing across the ``store.commit`` fault point."""
+        with self.connection.transaction() as conn:
+            result = ingest(conn, export)
+            if self.retention is not None:
+                apply_retention(conn, self.retention)
+        return result
+
+    def ingest_recorder(self, recorder,
+                        wall_time_s: Optional[float] = None,
+                        **meta: Any) -> IngestResult:
+        """Convenience: stamp *meta* onto the recording, export, and
+        ingest in one call."""
+        if meta:
+            recorder.set_meta(**meta)
+        return self.ingest(recorder.export(wall_time_s=wall_time_s))
+
+    def apply_retention(self,
+                        policy: Optional[RetentionPolicy] = None
+                        ) -> EvictionReport:
+        policy = policy if policy is not None else self.retention
+        if policy is None:
+            policy = RetentionPolicy()
+        with self.connection.transaction() as conn:
+            return apply_retention(conn, policy)
+
+    # -- read side ---------------------------------------------------------
+
+    def runs(self, workload: Optional[str] = None) -> List[StoredRun]:
+        return list_runs(self.connection._conn, workload=workload)
+
+    def run(self, run_id: int) -> StoredRun:
+        return get_run(self.connection._conn, run_id)
+
+    def trace(self, run_id: int):
+        """Decode one stored trace; stamps the run's LRU clock."""
+        trace = load_trace(self.connection._conn, run_id)
+        self._touch([run_id])
+        return trace
+
+    def hot(self, workload: Optional[str] = None,
+            top: int = 10) -> List[Dict[str, Any]]:
+        result = hot_regions(self.connection._conn, workload=workload,
+                             top=top)
+        self._touch([run.id for run in self.runs(workload=workload)])
+        return result
+
+    def write_stats(self,
+                    workload: Optional[str] = None
+                    ) -> List[Dict[str, Any]]:
+        result = write_stats(self.connection._conn, workload=workload)
+        self._touch([entry["run"] for entry in result])
+        return result
+
+    def regress(self, workload: str, run_a: Optional[int] = None,
+                run_b: Optional[int] = None,
+                threshold_pct: float = 10.0) -> Dict[str, Any]:
+        return regress(self.connection._conn, workload, run_a=run_a,
+                       run_b=run_b, threshold_pct=threshold_pct)
+
+    def provenance(self, addr: int, size: int,
+                   workload: Optional[str] = None,
+                   run_id: Optional[int] = None,
+                   before_index: Optional[int] = None
+                   ) -> List[Dict[str, Any]]:
+        result = provenance(self.connection._conn, addr, size,
+                            workload=workload, run_id=run_id,
+                            before_index=before_index)
+        self._touch([entry["run"] for entry in result])
+        return result
+
+    def stats(self) -> Dict[str, Any]:
+        return store_stats(self.connection._conn)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "TraceStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _touch(self, run_ids: List[int]) -> None:
+        if not run_ids:
+            return
+        import time
+        marks = ",".join("?" for _ in run_ids)
+        self.connection.execute_commit(
+            "UPDATE runs SET last_access = ? WHERE id IN (%s)" % marks,
+            [time.time()] + list(run_ids))
