@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Simulator throughput benchmark: per-step loop vs block fast path.
+
+Each workload runs three ways:
+
+* **plain** — the per-instruction interpreter loop (``fast_path=False``),
+  the historical baseline every other benchmark is priced against;
+* **fast**  — the basic-block fast path (decode-once compiled blocks);
+* **armed** — instrumented with a live data breakpoint, where monitor
+  check traps force block boundaries (the de-opt cost the selective
+  fast path is designed to contain).
+
+Every fast run is differentially compared against the plain run —
+exit code, state digest, cycles, counters, memory image, output — so
+the benchmark doubles as a divergence gate: any drift exits 2.
+
+``--quick`` is the CI mode: small scale, one repeat, and a hard gate
+that at least ``gate_min_workloads`` workloads clear the speedup floor
+(both recorded in BENCH_sim.json).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sim.py -o BENCH_sim.json
+    PYTHONPATH=src python scripts/bench_sim.py --quick     # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.asm.assembler import assemble
+from repro.asm.loader import load_program
+from repro.debugger import Debugger
+from repro.minic.codegen import compile_source
+from repro.replay import state_digest
+from repro.workloads import WORKLOADS, workload_source
+
+#: (workload, watched expression for the armed run) — globals each
+#: workload is known to write throughout its run
+TARGETS = [
+    ("023.eqntott", "__seed"),
+    ("030.matrix300", "c[24]"),
+    ("022.li", "hp"),
+    ("042.fpppp", "gout[12]"),
+]
+
+#: CI gate: the fast path must beat the plain loop by at least this
+#: factor on at least GATE_MIN_WORKLOADS workloads (floors are kept
+#: deliberately below the recorded speedups — shared CI runners are
+#: noisy; BENCH_sim.json records the actual measured trajectory)
+SPEEDUP_FLOOR = 2.0
+GATE_MIN_WORKLOADS = 2
+
+
+def state_signature(loaded):
+    """Everything a divergent engine could plausibly corrupt."""
+    cpu = loaded.cpu
+    return (
+        cpu.exit_code, cpu.pc, cpu.npc, state_digest(cpu),
+        cpu.cycles, cpu.instructions, cpu.loads, cpu.stores,
+        cpu.traps_taken, tuple(sorted(cpu.tag_counts.items())),
+        tuple(sorted(cpu.tag_cycles.items())),
+        cpu.cache.hits, cpu.cache.misses,
+        (cpu.icc_n, cpu.icc_z, cpu.icc_v, cpu.icc_c),
+        tuple(sorted(cpu.mem.words.items())),
+        tuple(loaded.output), cpu.max_window_depth,
+    )
+
+
+def timed_plain_run(asm, fast):
+    program = assemble(asm)
+    loaded = load_program(program, fast_path=fast)
+    begin = time.perf_counter()
+    code = loaded.run()
+    elapsed = time.perf_counter() - begin
+    if code != 0:
+        raise SystemExit("workload exited %r" % code)
+    return elapsed, loaded
+
+
+def timed_armed_run(source, lang, watch_expr):
+    debugger = Debugger.for_source(source, lang=lang, fast_path=True)
+    watchpoint = debugger.watch(watch_expr, action="log")
+    begin = time.perf_counter()
+    reason = debugger.run()
+    elapsed = time.perf_counter() - begin
+    if reason != "exited":
+        raise SystemExit("armed run did not exit: %r" % reason)
+    return elapsed, debugger, watchpoint
+
+
+def bench_workload(name, watch_expr, scale, repeats):
+    workload = WORKLOADS[name]
+    source = workload_source(name, scale)
+    asm = compile_source(source, lang=workload.lang)
+
+    # untimed warm-up (imports, codegen caches)
+    timed_plain_run(asm, fast=True)
+
+    # interleave plain/fast repeats (best-of) so machine-load drift
+    # biases both engines equally
+    plain_samples, fast_samples, armed_samples = [], [], []
+    for _ in range(repeats):
+        plain_s, plain = timed_plain_run(asm, fast=False)
+        plain_samples.append(plain_s)
+        fast_s, fast = timed_plain_run(asm, fast=True)
+        fast_samples.append(fast_s)
+        armed_s, debugger, watchpoint = timed_armed_run(
+            source, workload.lang, watch_expr)
+        armed_samples.append(armed_s)
+
+    divergence = None
+    if state_signature(fast) != state_signature(plain):
+        slow_sig, fast_sig = state_signature(plain), state_signature(fast)
+        divergence = [index for index, (a, b)
+                      in enumerate(zip(slow_sig, fast_sig)) if a != b]
+
+    stats = fast.cpu.fast_stats()
+    instructions = plain.cpu.instructions
+    armed_instr = debugger.cpu.instructions
+    plain_s = min(plain_samples)
+    fast_s = min(fast_samples)
+    armed_s = min(armed_samples)
+    plain_rate = instructions / plain_s
+    fast_rate = instructions / fast_s
+    armed_rate = armed_instr / armed_s
+    return {
+        "workload": name,
+        "watch": watch_expr,
+        "scale": scale,
+        "instructions": instructions,
+        "plain_run_s": round(plain_s, 4),
+        "fast_run_s": round(fast_s, 4),
+        "plain_instr_per_s": round(plain_rate),
+        "fast_instr_per_s": round(fast_rate),
+        "speedup": round(fast_rate / plain_rate, 2),
+        "digest_match": divergence is None,
+        "divergent_fields": divergence,
+        "block_runs": stats["block_runs"],
+        "fast_retired": stats["fast_retired"],
+        "cached_blocks": stats["cached_blocks"],
+        # armed = instrumented + data breakpoint: monitor traps pin
+        # block boundaries, so this prices the selective de-opt
+        "armed_instructions": armed_instr,
+        "armed_run_s": round(armed_s, 4),
+        "armed_instr_per_s": round(armed_rate),
+        "armed_monitor_hits": watchpoint.hit_count(),
+        "armed_overhead_vs_fast_pct":
+            round((fast_rate - armed_rate) / fast_rate * 100.0, 1),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=2.0,
+                        help="workload size multiplier (the default is "
+                             "large enough that steady-state block reuse "
+                             "dominates one-time compile cost)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per engine (best-of)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI mode: small scale, one repeat, gate on "
+                             "divergence and the speedup floor")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args()
+    scale = 0.4 if args.quick else args.scale
+    repeats = 1 if args.quick else args.repeats
+
+    rows = [bench_workload(name, watch_expr, scale, repeats)
+            for name, watch_expr in TARGETS]
+    report = {
+        "benchmark": "repro.machine.fastpath",
+        "speedup_floor": SPEEDUP_FLOOR,
+        "gate_min_workloads": GATE_MIN_WORKLOADS,
+        "workloads": rows,
+    }
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+
+    divergent = [row["workload"] for row in rows if not row["digest_match"]]
+    if divergent:
+        print("FAIL: fast path diverged from the per-step loop on %s"
+              % ", ".join(divergent))
+        return 2
+    if args.quick:
+        above = [row["workload"] for row in rows
+                 if row["speedup"] >= SPEEDUP_FLOOR]
+        if len(above) < GATE_MIN_WORKLOADS:
+            print("FAIL: only %d/%d workloads reached the %.1fx speedup "
+                  "floor (need %d)" % (len(above), len(rows),
+                                       SPEEDUP_FLOOR, GATE_MIN_WORKLOADS))
+            return 1
+        print("gate OK: %d/%d workloads >= %.1fx, all digests match"
+              % (len(above), len(rows), SPEEDUP_FLOOR))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Consolidated perf gate: replay every BENCH_*.json through
+``repro analyze regress --baseline``.
+
+Each committed benchmark file records the throughput trajectory of one
+subsystem.  This gate turns them into a single CI exit code instead of
+ad-hoc per-job thresholds: for every baseline row that carries enough
+data to reprice (``workload`` + ``instructions`` + a wall time), it
+
+1. records a fresh run of that workload into a scratch trace store
+   (``repro record --workload ... --store ...``), then
+2. runs ``repro analyze regress --workload W --baseline BENCH_x.json``
+   and inherits its exit-code gating (exit 1 when the candidate's
+   instr/s falls more than ``--threshold`` percent below the baseline).
+
+Files whose rows don't describe a repriceable run (server latencies,
+elimination counts, dedup ratios) are reported as skipped — their
+subsystem-specific gates live in their own bench scripts.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_gate.py                # all BENCH_*.json
+    PYTHONPATH=src python scripts/perf_gate.py BENCH_sim.json --threshold 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def gateable_rows(path):
+    """Baseline rows `repro analyze regress --baseline` can reprice."""
+    with open(path) as handle:
+        bench = json.load(handle)
+    workloads = bench.get("workloads")
+    if not isinstance(workloads, list):
+        return []
+    rows = []
+    for row in workloads:
+        if not isinstance(row, dict):
+            continue
+        if row.get("workload") and row.get("instructions") and \
+                (row.get("recorded_run_s") or row.get("plain_run_s")):
+            rows.append(row)
+    return rows
+
+
+def run_cli(args, env):
+    command = [sys.executable, "-m", "repro"] + args
+    return subprocess.run(command, env=env).returncode
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baselines", nargs="*",
+                        help="BENCH_*.json files (default: glob the "
+                             "repository root)")
+    parser.add_argument("--threshold", type=float, default=75.0,
+                        help="fail when candidate instr/s drops more "
+                             "than this percent below the baseline "
+                             "(generous by design: baselines are "
+                             "recorded on faster machines than CI)")
+    parser.add_argument("--db", default=None,
+                        help="scratch trace store (default: a temp file)")
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baselines = args.baselines or sorted(
+        glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not baselines:
+        print("perf-gate: no BENCH_*.json baselines found")
+        return 2
+
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", os.path.join(root, "src"))
+    db = args.db or os.path.join(tempfile.mkdtemp(prefix="perf_gate_"),
+                                 "store.sqlite")
+
+    recorded = set()
+    failures = []
+    skipped = []
+    for path in baselines:
+        rows = gateable_rows(path)
+        if not rows:
+            skipped.append(os.path.basename(path))
+            continue
+        for row in rows:
+            workload = row["workload"]
+            scale = row.get("scale") or 1.0
+            if (workload, scale) not in recorded:
+                code = run_cli(["record", "--workload", workload,
+                                "--scale", str(scale), "--seed", "0",
+                                "--store", db], env)
+                if code != 0:
+                    print("perf-gate: recording %s failed (%d)"
+                          % (workload, code))
+                    return 2
+                recorded.add((workload, scale))
+            print("== %s :: %s (scale %s)"
+                  % (os.path.basename(path), workload, scale))
+            code = run_cli(["analyze", "--db", db, "regress",
+                            "--workload", workload,
+                            "--baseline", path,
+                            "--threshold", str(args.threshold)], env)
+            if code != 0:
+                failures.append("%s:%s" % (os.path.basename(path),
+                                           workload))
+    if skipped:
+        print("perf-gate: skipped (no repriceable rows): %s"
+              % ", ".join(skipped))
+    if failures:
+        print("perf-gate: FAIL — regressions against %s"
+              % ", ".join(failures))
+        return 1
+    print("perf-gate: OK — %d baseline row(s) repriced, no regressions"
+          % len(recorded))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

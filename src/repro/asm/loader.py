@@ -52,8 +52,13 @@ def load_program(program: Program,
                  stack_top: int = DEFAULT_STACK_TOP,
                  heap_base: int = DEFAULT_HEAP_BASE,
                  record_writes: bool = False,
-                 entry_name: str = "main") -> LoadedProgram:
-    """Instantiate a CPU running *program*, stopped at the startup stub."""
+                 entry_name: str = "main",
+                 fast_path=None) -> LoadedProgram:
+    """Instantiate a CPU running *program*, stopped at the startup stub.
+
+    *fast_path* picks the execution engine (None = the CPU default,
+    i.e. block fast path unless ``REPRO_FAST_PATH=0``).
+    """
     code = CodeSpace(base=program.text_base)
     code.insns.extend(program.insns)
 
@@ -73,7 +78,7 @@ def load_program(program: Program,
         raise ValueError("data section overflows into the heap")
 
     cpu = CPU(code, memory=memory, cache=DirectMappedCache(cache_bytes),
-              costs=costs)
+              costs=costs, fast_path=fast_path)
     cpu.record_writes = record_writes
     cpu.regs.write(SP, stack_top - 96)
     cpu.regs.write(FP, stack_top)

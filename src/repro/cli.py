@@ -61,6 +61,9 @@ def _add_run_parser(subparsers) -> None:
                         help="also monitor read instructions (§5)")
     parser.add_argument("--stats", action="store_true",
                         help="print cycle/instruction statistics")
+    parser.add_argument("--no-fast-path", action="store_true",
+                        help="force the per-instruction interpreter loop "
+                             "(disable the basic-block fast path)")
 
 
 def _add_debug_parser(subparsers) -> None:
@@ -171,6 +174,9 @@ def _add_record_parser(subparsers) -> None:
                         metavar="BYTES",
                         help="retention: bound the store's payload "
                              "bytes (LRU eviction)")
+    parser.add_argument("--no-fast-path", action="store_true",
+                        help="force the per-instruction interpreter loop "
+                             "(traces are byte-identical either way)")
 
 
 def _add_replay_parser(subparsers) -> None:
@@ -269,7 +275,9 @@ def _command_run(args) -> int:
     debugger = Debugger.for_source(source, lang=args.lang,
                                    strategy=args.strategy,
                                    optimize=optimize,
-                                   monitor_reads=args.monitor_reads)
+                                   monitor_reads=args.monitor_reads,
+                                   fast_path=(False if args.no_fast_path
+                                              else None))
     requested = ([(expr, None, None) for expr in args.watch]
                  + [(expr, pred, None) for expr, pred in args.cond]
                  + [(expr, pred, edge) for expr, pred, edge in args.trans])
@@ -363,9 +371,11 @@ def _record_run(args):
     else:
         raise SystemExit("error: record needs a FILE or --workload NAME")
     optimize = None if args.optimize == "none" else args.optimize
+    fast_path = False if getattr(args, "no_fast_path", False) else None
     debugger = Debugger.for_source(source, lang=lang,
                                    strategy=args.strategy,
-                                   optimize=optimize)
+                                   optimize=optimize,
+                                   fast_path=fast_path)
     for expr in args.watch:
         debugger.watch(expr, action="log")
     recorder = debugger.record(stride=args.stride)

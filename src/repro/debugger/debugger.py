@@ -163,19 +163,21 @@ class Debugger:
                    strategy: str = "BitmapInlineRegisters",
                    optimize: Optional[str] = "full",
                    monitor_reads: bool = False,
-                   faults=None) -> "Debugger":
+                   faults=None, fast_path=None) -> "Debugger":
         """Compile, instrument and attach a debugger to mini-C source.
 
         *optimize* is any :func:`~repro.optimizer.pipeline.build_plan`
         mode (``"sym"``, ``"full"``, ``"ipa"``) or None; *faults*
-        reaches the plan build (e.g. the ``analysis.unsound`` point).
+        reaches the plan build (e.g. the ``analysis.unsound`` point);
+        *fast_path* picks the execution engine (None = CPU default).
         """
         asm = compile_source(c_source, lang=lang)
         plan: Optional[OptimizationPlan] = None
         if optimize:
             _stmts, plan = build_plan(asm, mode=optimize, faults=faults)
         session = DebugSession.from_asm(asm, strategy=strategy, plan=plan,
-                                        monitor_reads=monitor_reads)
+                                        monitor_reads=monitor_reads,
+                                        fast_path=fast_path)
         return cls(session)
 
     # -- name resolution -------------------------------------------------------
@@ -612,11 +614,10 @@ class Debugger:
             cpu.pc = self.session.loaded.entry
             cpu.npc = cpu.pc + 4
             self.session.mark_started()
-        cpu.running = True
-        for _ in range(count):
-            cpu.step()
-            if not cpu.running:
-                break
+        # run_steps() is bit-exact with *count* single steps: monitor
+        # checks, breakpoints and watch traps all live in trap/patch
+        # instructions, which never compile into fast-path blocks
+        cpu.run_steps(count)
         if not cpu.running and cpu.exit_code is not None:
             self.stop_reason = "exited"
         elif self.stop_reason is None:

@@ -71,6 +71,9 @@ class Checkpoint:
         cpu.mem.words = dict(self.memory_words)
         cpu.mem.brk = self.brk
         cpu.code.insns[:] = self.code_insns
+        # the code space changed behind patch()/append_block(): force the
+        # basic-block cache to flush its compiled handlers
+        cpu.code.version += 1
         cpu.cycles = self.cycles
         cpu.instructions = self.instructions
         cpu.loads = self.loads

@@ -10,6 +10,7 @@ measures with its nop-insertion experiment.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
@@ -22,6 +23,9 @@ from repro.machine.memory import Memory
 WORD_MASK = 0xFFFFFFFF
 
 _INFINITY = float("inf")
+
+#: block-cache probe miss sentinel (cache values may legitimately be None)
+_NO_BLOCK = object()
 
 
 class SimulationError(ReproError):
@@ -112,13 +116,19 @@ class CodeSpace:
     Dynamic code patching (Kessler-style write-check patches, §4) replaces
     single entries with :meth:`patch` and appends patch bodies with
     :meth:`append_block`.
+
+    :attr:`version` counts mutations; the basic-block fast path
+    (:mod:`repro.machine.blocks`) caches compiled blocks against it and
+    flushes whenever it changes.  Anything that mutates :attr:`insns`
+    outside this class (e.g. checkpoint restore) must bump it.
     """
 
-    __slots__ = ("base", "insns")
+    __slots__ = ("base", "insns", "version")
 
     def __init__(self, base: int = 0x10000):
         self.base = base
         self.insns: List[Optional[Instruction]] = []
+        self.version = 0
 
     @property
     def limit(self) -> int:
@@ -146,12 +156,14 @@ class CodeSpace:
         index = self.index_of(addr)
         old = self.insns[index]
         self.insns[index] = insn
+        self.version += 1
         return old
 
     def append_block(self, insns: List[Instruction]) -> int:
         """Append *insns* to code memory, returning the block's address."""
         addr = self.limit
         self.insns.extend(insns)
+        self.version += 1
         return addr
 
 
@@ -160,7 +172,8 @@ class CPU:
 
     def __init__(self, code: CodeSpace, memory: Memory = None,
                  cache: DirectMappedCache = None,
-                 costs: CostModel = DEFAULT_COSTS):
+                 costs: CostModel = DEFAULT_COSTS,
+                 fast_path: Optional[bool] = None):
         self.code = code
         self.mem = memory if memory is not None else Memory()
         self.cache = cache if cache is not None else DirectMappedCache()
@@ -190,6 +203,14 @@ class CPU:
         self._branch_target: Optional[int] = None
         self._annul_slot = False
         self._skip_slot = False
+        #: run whole basic blocks through compiled handlers when no
+        #: per-instruction instrumentation boundary is armed
+        #: (repro.machine.blocks).  REPRO_FAST_PATH=0 disables globally.
+        if fast_path is None:
+            fast_path = os.environ.get(
+                "REPRO_FAST_PATH", "1").lower() not in ("0", "false", "off")
+        self.fast_path = bool(fast_path)
+        self._blocks = None
 
     # -- condition codes -----------------------------------------------
 
@@ -316,13 +337,101 @@ class CPU:
         insn_limit = watchdog.insn_limit
         cycle_limit = watchdog.cycle_limit
         trap_limit = watchdog.trap_limit
-        while self.running:
-            self.step()
-            if self.instructions >= insn_limit or \
-                    self.cycles >= cycle_limit or \
-                    self.traps_taken >= trap_limit:
-                watchdog.exhausted(self)
+        if self.fast_path and cycle_limit is _INFINITY \
+                and trap_limit is _INFINITY:
+            self._run_fast(watchdog, insn_limit)
+        else:
+            # cycle/trap budgets can trip *inside* a block, so the
+            # boundary must stay per-instruction: slow loop only
+            while self.running:
+                self.step()
+                if self.instructions >= insn_limit or \
+                        self.cycles >= cycle_limit or \
+                        self.traps_taken >= trap_limit:
+                    watchdog.exhausted(self)
         return self.exit_code if self.exit_code is not None else 0
+
+    def _run_fast(self, watchdog: Watchdog, insn_limit) -> None:
+        """Block-dispatch loop: compiled blocks where possible, exact
+        single steps everywhere else (armed fault handlers, pending
+        delayed branches, instruction-budget boundaries, trap sites)."""
+        blocks = self.block_cache()
+        cache = blocks.blocks
+        cache_get = cache.get
+        lookup = blocks.lookup
+        code = self.code
+        mem = self.mem
+        step = self.step
+        while self.running:
+            if self.npc == self.pc + 4 and mem.fault_handler is None:
+                if blocks.version != code.version:
+                    cache.clear()
+                    blocks.version = code.version
+                    blocks.invalidations += 1
+                block = cache_get(self.pc, _NO_BLOCK)
+                if block is _NO_BLOCK:
+                    block = lookup(self.pc)
+                if block is not None and \
+                        self.instructions + block.max_retire <= insn_limit:
+                    block.fn(self)
+                    if self.instructions >= insn_limit:
+                        watchdog.exhausted(self)
+                    continue
+            step()
+            if self.instructions >= insn_limit:
+                watchdog.exhausted(self)
+
+    def run_steps(self, count: int) -> None:
+        """Execute exactly *count* instructions (or until the program
+        stops), using the fast path for full blocks that fit.
+
+        This is the single-stepping entry point used by the debugger and
+        the recorder's keyframe-stride chunks: because blocks are guarded
+        by :attr:`BasicBlock.max_retire`, the loop never overshoots, and
+        the final instruction boundary is bit-exact with *count* calls
+        to :meth:`step`.
+        """
+        self.running = True
+        limit = self.instructions + count
+        if not self.fast_path:
+            while self.running and self.instructions < limit:
+                self.step()
+            return
+        blocks = self.block_cache()
+        cache = blocks.blocks
+        cache_get = cache.get
+        lookup = blocks.lookup
+        code = self.code
+        mem = self.mem
+        step = self.step
+        while self.running and self.instructions < limit:
+            if self.npc == self.pc + 4 and mem.fault_handler is None:
+                if blocks.version != code.version:
+                    cache.clear()
+                    blocks.version = code.version
+                    blocks.invalidations += 1
+                block = cache_get(self.pc, _NO_BLOCK)
+                if block is _NO_BLOCK:
+                    block = lookup(self.pc)
+                if block is not None and \
+                        self.instructions + block.max_retire <= limit:
+                    block.fn(self)
+                    continue
+            step()
+
+    def block_cache(self):
+        """The per-CPU compiled-block cache (created on first use)."""
+        if self._blocks is None:
+            from repro.machine.blocks import BlockCache
+            self._blocks = BlockCache(self)
+        return self._blocks
+
+    def fast_stats(self) -> Dict[str, int]:
+        """Fast-path telemetry: cached blocks, decodes, runs, retires."""
+        if self._blocks is None:
+            return {"cached_blocks": 0, "decodes": 0, "invalidations": 0,
+                    "block_runs": 0, "fast_retired": 0}
+        return self._blocks.stats()
 
     def stop(self, exit_code: int = 0) -> None:
         self.running = False
